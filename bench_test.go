@@ -1,0 +1,602 @@
+package ucqn
+
+// One testing.B benchmark per experiment of DESIGN.md (E1–E18), plus
+// microbenchmarks for the extension subsystems. `go test -bench=.
+// -benchmem` regenerates every number; cmd/paperbench prints the same
+// series as human-readable tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lichang"
+	"repro/internal/logic"
+	"repro/internal/workload"
+)
+
+// E1: ANSWERABLE on reversed chains (quadratic, Prop. 2).
+func BenchmarkE1Answerable(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		q, ps := workload.ChainQuery(n)
+		rev := workload.Reversed(q)
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.AnswerablePart(rev, ps)
+			}
+		})
+	}
+}
+
+// E1: the orderability check (Cor. 3).
+func BenchmarkE1Orderable(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		q, ps := workload.ChainQuery(n)
+		rev := workload.Reversed(q)
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Orderable(rev, ps)
+			}
+		})
+	}
+}
+
+// E2: PLAN* on reversed chains (quadratic).
+func BenchmarkE2PlanStar(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		q, ps := workload.ChainQuery(n)
+		rev := logic.AsUnion(workload.Reversed(q))
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ComputePlans(rev, ps)
+			}
+		})
+	}
+}
+
+// E3: FEASIBLE on the hard case-split family (containment needed) vs the
+// easy family (fast certificate).
+func BenchmarkE3FeasibleHard(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		u, ps := workload.CaseSplitFamily(n)
+		b.Run(fmt.Sprintf("split-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Feasible(u, ps)
+			}
+		})
+	}
+}
+
+func BenchmarkE3FeasibleEasy(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		u, ps := workload.EasyFamily(n)
+		b.Run(fmt.Sprintf("split-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Feasible(u, ps)
+			}
+		})
+	}
+}
+
+// E4: ANSWER* end to end on the Example 4 view over random instances.
+func BenchmarkE4AnswerStar(b *testing.B) {
+	u := MustParseQuery(`
+		Q(x, y) :- not S(z), R(x, z), B(x, y).
+		Q(x, y) :- T(x, y).
+	`)
+	ps := MustParsePatterns(`S^o R^oo B^oi T^oo`)
+	s := workload.Schema{Relations: []workload.RelDef{
+		{Name: "R", Arity: 2}, {Name: "S", Arity: 1}, {Name: "B", Arity: 2}, {Name: "T", Arity: 2},
+	}}
+	for _, tuples := range []int{10, 100} {
+		g := workload.New(42)
+		in := engine.NewInstance()
+		if err := in.LoadFacts(g.Facts(s, tuples, tuples)); err != nil {
+			b.Fatal(err)
+		}
+		cat := in.MustCatalog(ps)
+		b.Run(fmt.Sprintf("tuples-%d", tuples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunAnswerStar(u, ps, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5: the paper's examples through FEASIBLE (the classification table).
+func BenchmarkE5PaperExamples(b *testing.B) {
+	for _, ex := range workload.PaperExamples() {
+		b.Run(ex.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Feasible(ex.Query, ex.Patterns)
+			}
+		})
+	}
+}
+
+// E6: the ans(Q)-minimality pipeline (generate, reorder, extend, check
+// Q ⊑ ans(Q) ⊑ E).
+func BenchmarkE6AnsMinimality(b *testing.B) {
+	g := workload.New(7)
+	s := g.Schema(4, 1, 2)
+	ps := g.Patterns(s, 0.5, 2)
+	cfg := workload.QueryConfig{PosLits: 3, NegLits: 1, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := g.UCQ(s, 2, cfg)
+		ordered, ok := core.ReorderUCQ(e, ps)
+		if !ok {
+			continue
+		}
+		q := logic.UCQ{Rules: []logic.CQ{ordered.Rules[0].Clone()}}
+		q.Rules[0].Body = append(q.Rules[0].Body, g.CQ(s, cfg).Body...)
+		a := core.AnswerableUCQ(q, ps).DropFalseRules()
+		if a.HasNull() {
+			continue
+		}
+		if !Contained(q, a) || !Contained(a, ordered) {
+			b.Fatal("theorem 16 violated")
+		}
+	}
+}
+
+// E7: the five feasibility algorithms on the same UCQ workload.
+func BenchmarkE7Baselines(b *testing.B) {
+	g := workload.New(13)
+	s := g.Schema(4, 1, 2)
+	ps := g.Patterns(s, 0.55, 2)
+	cfg := workload.QueryConfig{PosLits: 4, NegLits: 0, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 5}
+	queries := make([]logic.UCQ, 64)
+	for i := range queries {
+		queries[i] = g.UCQ(s, 3, cfg)
+	}
+	b.Run("FEASIBLE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Feasible(queries[i%len(queries)], ps)
+		}
+	})
+	b.Run("UCQstable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lichang.UCQStable(queries[i%len(queries)], ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("UCQstable-star", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lichang.UCQStableStar(queries[i%len(queries)], ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E8: domain enumeration fixpoint cost.
+func BenchmarkE8DomainEnum(b *testing.B) {
+	for _, tuples := range []int{20, 100} {
+		g := workload.New(21)
+		s := workload.Schema{Relations: []workload.RelDef{
+			{Name: "R", Arity: 2}, {Name: "S", Arity: 1}, {Name: "T", Arity: 2},
+		}}
+		in := engine.NewInstance()
+		if err := in.LoadFacts(g.Facts(s, tuples, tuples/2)); err != nil {
+			b.Fatal(err)
+		}
+		ps := MustParsePatterns(`R^oo S^o T^io`)
+		cat := in.MustCatalog(ps)
+		b.Run(fmt.Sprintf("tuples-%d", tuples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.EnumerateDomain(cat, nil, 1_000_000)
+			}
+		})
+	}
+}
+
+// E9: satisfiability check (Prop. 8) on long bodies.
+func BenchmarkE9Satisfiable(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		q, _ := workload.ChainQuery(n)
+		q.Body = append(q.Body, logic.Neg(q.Body[0].Atom))
+		u := logic.AsUnion(q)
+		b.Run(fmt.Sprintf("lits-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Satisfiable(u)
+			}
+		})
+	}
+}
+
+// E10: the Theorem 18 reduction pipeline (construct + decide).
+func BenchmarkE10Reduction(b *testing.B) {
+	g := workload.New(31)
+	s := g.Schema(4, 1, 2)
+	cfg := workload.QueryConfig{PosLits: 3, NegLits: 0, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 5}
+	ps := make([]logic.UCQ, 32)
+	qs := make([]logic.UCQ, 32)
+	for i := range ps {
+		ps[i] = g.UCQ(s, 2, cfg)
+		qs[i] = g.UCQ(s, 2, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, q := ps[i%len(ps)], qs[i%len(qs)]
+		red, rps, err := ReduceContToFeasible(p, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := FeasibleLimited(red, rps, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11: the estimate ladder end to end (ANSWER* + domain improvement +
+// ground truth).
+func BenchmarkE11Ladder(b *testing.B) {
+	g := workload.New(51)
+	s := workload.Schema{Relations: []workload.RelDef{
+		{Name: "R", Arity: 2}, {Name: "S", Arity: 1}, {Name: "B", Arity: 2}, {Name: "T", Arity: 2},
+	}}
+	u := MustParseQuery(`
+		Q(x, y) :- not S(z), R(x, z), B(x, y).
+		Q(x, y) :- T(x, y).
+	`)
+	ps := MustParsePatterns(`S^o R^oo B^oi T^oo`)
+	in := engine.NewInstance()
+	if err := in.LoadFacts(g.Facts(s, 20, 10)); err != nil {
+		b.Fatal(err)
+	}
+	cat := in.MustCatalog(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.RunAnswerStar(u, ps, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := engine.ImproveUnder(res, ps, cat, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12: plan execution cost over metered sources as fan-out grows.
+func BenchmarkE12SourceCalls(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		q, ps := workload.StarQuery(n)
+		in := engine.NewInstance()
+		for x := 0; x < 40; x++ {
+			xv := fmt.Sprintf("x%d", x)
+			for i := 1; i <= n; i++ {
+				in.MustAdd(fmt.Sprintf("R%d", i), xv, fmt.Sprintf("y%d_%d", i, x))
+			}
+			if x%2 == 0 {
+				in.MustAdd("S", xv)
+			}
+		}
+		cat := in.MustCatalog(ps)
+		uq := logic.AsUnion(q)
+		b.Run(fmt.Sprintf("fanout-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Answer(uq, ps, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E13: compile-time semantic optimization under inclusion dependencies.
+func BenchmarkE13SemanticOptimizer(b *testing.B) {
+	u := MustParseQuery(`
+		Q(x, y) :- not S(z), R(x, z), B(x, y).
+		Q(x, y) :- T(x, y).
+	`)
+	ps := MustParsePatterns(`S^o R^oo B^oi T^oo`)
+	inds := MustParseINDs(`R[1] < S[0]`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := inds.Optimize(u)
+		if !core.Feasible(opt, ps).Feasible {
+			b.Fatal("optimized query must be feasible")
+		}
+	}
+}
+
+// E14: calls under ANSWERABLE order vs the call-minimizing order.
+func BenchmarkE14OrderAblation(b *testing.B) {
+	q := MustParseQuery(`Q(x, y) :- R1(x, w), R2(w, y), not L(x).`)
+	ps := MustParsePatterns(`R1^oo R2^io L^i`)
+	in := engine.NewInstance()
+	for i := 0; i < 100; i++ {
+		in.MustAdd("R1", fmt.Sprintf("x%d", i), fmt.Sprintf("w%d", i))
+		in.MustAdd("R2", fmt.Sprintf("w%d", i), fmt.Sprintf("y%d", i))
+		if i%10 != 0 {
+			in.MustAdd("L", fmt.Sprintf("x%d", i))
+		}
+	}
+	cat := in.MustCatalog(ps)
+	ordered, _ := core.ReorderUCQ(q, ps)
+	optimized, _ := core.OptimizeOrderUCQ(q, ps)
+	b.Run("answerable-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(ordered, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(optimized, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E15: acyclic containment fast path on the chain-into-tree family.
+func BenchmarkE15AcyclicAblation(b *testing.B) {
+	chain := func(n int) logic.CQ {
+		q := logic.CQ{HeadPred: "Q"}
+		for i := 0; i < n; i++ {
+			q.Body = append(q.Body, logic.Pos(logic.NewAtom("E",
+				logic.Var(fmt.Sprintf("x%d", i)), logic.Var(fmt.Sprintf("x%d", i+1)))))
+		}
+		return q
+	}
+	tree := func(depth int) logic.CQ {
+		q := logic.CQ{HeadPred: "Q"}
+		var rec func(node string, d int)
+		rec = func(node string, d int) {
+			if d == 0 {
+				return
+			}
+			for _, side := range []string{"l", "r"} {
+				child := node + side
+				q.Body = append(q.Body, logic.Pos(logic.NewAtom("E", logic.Var(node), logic.Var(child))))
+				rec(child, d-1)
+			}
+		}
+		rec("t", depth)
+		return q
+	}
+	for _, d := range []int{6, 8} {
+		p := tree(d)
+		q := logic.AsUnion(chain(d + 1))
+		b.Run(fmt.Sprintf("fast-depth-%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				containment.NewChecker(q).Contains(p)
+			}
+		})
+		b.Run(fmt.Sprintf("slow-depth-%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := containment.NewChecker(q)
+				c.DisableAcyclic = true
+				c.Contains(p)
+			}
+		})
+	}
+}
+
+// E16: source-call caching on a join with repeated lookup keys.
+func BenchmarkE16CacheAblation(b *testing.B) {
+	q := MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`)
+	ps := MustParsePatterns(`R^oo T^io`)
+	in := engine.NewInstance()
+	for i := 0; i < 200; i++ {
+		in.MustAdd("R", fmt.Sprintf("x%d", i), fmt.Sprintf("z%d", i%10))
+	}
+	for z := 0; z < 10; z++ {
+		in.MustAdd("T", fmt.Sprintf("z%d", z), fmt.Sprintf("y%d", z))
+	}
+	b.Run("plain", func(b *testing.B) {
+		cat := in.MustCatalog(ps)
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(q, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cat, _, err := CachedCatalog(in.MustCatalog(ps))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(q, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E17: greedy vs cost-based join order, measured in real source calls.
+func BenchmarkE17CostOrder(b *testing.B) {
+	q := MustParseQuery(`Q(x) :- Big(x, w), Small(x, v).`)
+	ps := MustParsePatterns(`Big^oo Big^io Small^oo Small^io`)
+	in := engine.NewInstance()
+	for i := 0; i < 500; i++ {
+		in.MustAdd("Big", fmt.Sprintf("x%d", i), fmt.Sprintf("w%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		in.MustAdd("Small", fmt.Sprintf("x%d", i), fmt.Sprintf("v%d", i))
+	}
+	st := core.StatsFromCardinalities(map[string]int{"Big": 500, "Small": 5})
+	greedy, _ := core.OptimizeOrderUCQ(q, ps)
+	costed, _ := core.CostOrderUCQ(q, ps, st)
+	cat := in.MustCatalog(ps)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(greedy, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cost-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(costed, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// GAV unfolding microbenchmark (mediator front end, Section 6).
+func BenchmarkMediatorUnfold(b *testing.B) {
+	v := NewViews()
+	if err := v.Add(MustParseQuery("G(x, y) :- S(x, z), T(z, y).\nG(x, y) :- D(x, y).")); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.Add(MustParseQuery(`M(x) :- W(x).`)); err != nil {
+		b.Fatal(err)
+	}
+	q := MustParseQuery(`Q(a) :- G(a, c), G(c, d), not M(d).`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Unfold(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E18: adornment strategy (selection pushdown) measured in transferred
+// tuples.
+func BenchmarkE18AdornStrategy(b *testing.B) {
+	q := MustParseRule(`Q(x, y) :- R(x, z), T(z, y).`)
+	ps := MustParsePatterns(`R^oo T^io T^oo`)
+	in := engine.NewInstance()
+	for i := 0; i < 10; i++ {
+		in.MustAdd("R", fmt.Sprintf("x%d", i), fmt.Sprintf("z%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		in.MustAdd("T", fmt.Sprintf("z%d", i), fmt.Sprintf("y%d", i))
+	}
+	cat := in.MustCatalog(ps)
+	for _, strat := range []struct {
+		name string
+		s    access.AdornStrategy
+	}{{"pushdown", access.PreferMostInputs}, {"scan", access.PreferFewestInputs}} {
+		steps, ok := access.AdornInOrderPrefer(q.Body, ps, strat.s)
+		if !ok {
+			b.Fatal("not executable")
+		}
+		b.Run(strat.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.AnswerSteps(q, steps, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Parallel vs sequential rule evaluation on a wide union.
+func BenchmarkAnswerParallel(b *testing.B) {
+	in := engine.NewInstance()
+	var src, patSrc string
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 200; j++ {
+			in.MustAdd(fmt.Sprintf("R%d", i), fmt.Sprintf("v%d_%d", i, j))
+		}
+		src += fmt.Sprintf("Q(x) :- R%d(x).\n", i)
+		patSrc += fmt.Sprintf("R%d^o ", i)
+	}
+	u := MustParseQuery(src)
+	ps := MustParsePatterns(patSrc)
+	cat := in.MustCatalog(ps)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Answer(u, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.AnswerParallel(u, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Program compilation of a three-level hierarchy.
+func BenchmarkProgramCompile(b *testing.B) {
+	src := `
+		L1(x) :- E1(x).
+		L1(x) :- E2(x).
+		L2(x) :- L1(x), E3(x).
+		L3(x, y) :- L2(x), L2(y), E4(x, y).
+	`
+	parsed, err := ParseRules(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewProgram()
+		for _, r := range parsed {
+			if err := p.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.Compile("L3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Chase-based satisfiability under a dependency chain.
+func BenchmarkChaseSatisfiable(b *testing.B) {
+	inds := MustParseINDs(`R[1] < S[0]; S[0] < T[0]`)
+	q := MustParseRule(`Q(x) :- R(x, z), not T(z).`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inds.SatisfiableUnder(q) {
+			b.Fatal("must be unsatisfiable under the chain")
+		}
+	}
+}
+
+// Witness construction and verification for a containment that needs
+// the negative-literal recursion.
+func BenchmarkExplainAndVerify(b *testing.B) {
+	p := MustParseRule(`Q(x) :- R(x).`)
+	q := MustParseQuery("Q(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, ok := ExplainContained(p, q)
+		if !ok {
+			b.Fatal("containment expected")
+		}
+		if err := VerifyWitness(p, q, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Containment microbenchmarks: the Π₂ᴾ engine on its classic inputs.
+func BenchmarkContainmentCQ(b *testing.B) {
+	p := MustParseRule(`Q(x) :- E(x, y), E(y, z), E(z, x).`)
+	q := MustParseQuery(`Q(x) :- E(x, y), E(y, z).`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contained(logic.AsUnion(p), q)
+	}
+}
+
+func BenchmarkContainmentCaseSplit(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		u, _ := workload.CaseSplitFamily(n)
+		p := MustParseRule(`Q(x) :- R(x).`)
+		b.Run(fmt.Sprintf("split-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Contained(logic.AsUnion(p), u)
+			}
+		})
+	}
+}

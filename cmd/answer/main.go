@@ -1,0 +1,23 @@
+// Command answer runs ANSWER* (Figure 4 of Nash & Ludäscher, EDBT 2004)
+// against a database instance: it evaluates the PLAN* underestimate and
+// overestimate through access-pattern-restricted sources and reports the
+// answer with its completeness information.
+//
+// Usage:
+//
+//	answer -patterns 'S^o R^oo B^oi T^oo' -data facts.dlog [-query q.dlog] [-improve]
+//
+// facts.dlog holds ground facts: R("a", "b"). S("c"). …
+// With -improve, domain enumeration views (Example 8) upgrade the
+// underestimate.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Answer(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

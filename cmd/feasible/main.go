@@ -1,0 +1,25 @@
+// Command feasible decides executability, orderability, and feasibility
+// of a UCQ¬ query under access patterns (Figures 1–3 of Nash &
+// Ludäscher, EDBT 2004).
+//
+// Usage:
+//
+//	feasible -patterns 'B^ioo B^oio C^oo L^o' [-query file.dlog] [-verbose]
+//
+// The query is read from -query or from standard input, one or more
+// Datalog-style rules:
+//
+//	Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).
+//
+// Exit status: 0 when feasible, 1 when infeasible, 2 on usage errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Feasible(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

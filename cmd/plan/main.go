@@ -1,0 +1,18 @@
+// Command plan runs PLAN* (Figure 2 of Nash & Ludäscher, EDBT 2004) and
+// prints the underestimate plan Qᵘ, the overestimate plan Qᵒ, and the
+// per-rule decomposition into answerable and unanswerable parts.
+//
+// Usage:
+//
+//	plan -patterns 'S^o R^oo B^oi T^oo' [-query file.dlog]
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Plan(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,22 @@
+// Command ucqnsh is an interactive shell for exploring queries over
+// sources with limited access patterns: declare patterns and facts,
+// stage a UCQ¬ query, then ask for feasibility (Figure 3), the PLAN*
+// decomposition (Figure 2), or an ANSWER* run (Figure 4).
+//
+//	$ ucqnsh
+//	> :patterns B^ioo B^oio C^oo L^o
+//	> :fact B("i1", "knuth", "taocp"). C("i1", "knuth").
+//	> Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).
+//	> :feasible
+//	> :answer
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Repl(os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,88 @@
+// Bookstore: the full compile-time story of the paper on one scenario —
+// executable vs orderable vs feasible (Examples 1 and 3), the
+// answerable part, query minimization, and what the FEASIBLE algorithm
+// does on each query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ucqn "repro"
+)
+
+func analyze(title, query, patterns string) {
+	fmt.Printf("--- %s ---\n", title)
+	q, err := ucqn.ParseQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := ucqn.ParsePatterns(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query:\n%s\npatterns: %s\n", q, ps)
+	fmt.Printf("executable as written: %v\n", ucqn.Executable(q, ps))
+	fmt.Printf("orderable:             %v\n", ucqn.Orderable(q, ps))
+	res := ucqn.Feasible(q, ps)
+	fmt.Printf("feasible:              %v (%s)\n", res.Feasible, res.Verdict)
+	fmt.Printf("ans(Q):\n%s\n", ucqn.AnswerablePart(q, ps))
+	if ordered, ok := ucqn.Reorder(q, ps); ok {
+		fmt.Printf("executable reordering:\n%s\n", ordered)
+		for _, r := range ordered.Rules {
+			steps, err := ucqn.ExecutionOrder(r, ps)
+			if err != nil {
+				continue
+			}
+			fmt.Print("  steps:")
+			for _, s := range steps {
+				fmt.Printf("  %s", s)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	// Example 1: orderable, so feasibility is certified without any
+	// containment reasoning.
+	analyze("Example 1: reordering suffices",
+		`Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`,
+		`B^ioo B^oio C^oo L^o`)
+
+	// Example 3: not orderable (i' and a' can never be bound), yet
+	// feasible: the two disjuncts together are equivalent to
+	// Q'(a) :- L(i), B(i, a, t).
+	analyze("Example 3: feasible but not orderable",
+		`Q(a) :- B(i, a, t), L(i), B(i', a', t).
+		 Q(a) :- B(i, a, t), L(i), not B(i', a', t).`,
+		`B^ioo B^oio L^o`)
+
+	// The equivalent executable query of Example 3, verified.
+	u := ucqn.MustParseQuery(`
+		Q(a) :- B(i, a, t), L(i), B(i', a', t).
+		Q(a) :- B(i, a, t), L(i), not B(i', a', t).
+	`)
+	qPrime := ucqn.MustParseQuery(`Q(a) :- L(i), B(i, a, t).`)
+	fmt.Printf("Example 3 union ≡ Q'(a) :- L(i), B(i, a, t):  %v\n\n", ucqn.Equivalent(u, qPrime))
+
+	// Example 9: minimization view. The core of the query is
+	// Q(x) :- F(x), B(x), which is executable; CQstable and FEASIBLE
+	// agree.
+	q9 := ucqn.MustParseRule(`Q(x) :- F(x), B(x), B(y), F(z).`)
+	ps9 := ucqn.MustParsePatterns(`F^o B^i`)
+	fmt.Println("--- Example 9: minimization vs answerable part ---")
+	fmt.Println("query:   ", q9)
+	fmt.Println("minimal: ", ucqn.Minimize(q9))
+	stable, err := ucqn.CQStable(q9, ps9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	star, err := ucqn.CQStableStar(q9, ps9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CQstable: %v   CQstable*: %v   FEASIBLE: %v\n",
+		stable, star, ucqn.Feasible(ucqn.MustParseQuery(`Q(x) :- F(x), B(x), B(y), F(z).`), ps9).Feasible)
+}

@@ -1,0 +1,63 @@
+// Quickstart: parse a query and its access patterns, test feasibility,
+// reorder into an executable plan, and run it against limited-access
+// sources. This is Example 1 of Nash & Ludäscher (EDBT 2004): a book
+// search that cannot run as written but becomes executable once the
+// catalog C is called first.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ucqn "repro"
+)
+
+func main() {
+	// Books available in store B, listed in catalog C, not in library L.
+	q, err := ucqn.ParseQuery(`Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// B can be searched by ISBN or by author; C is freely scannable; L
+	// is freely scannable.
+	ps, err := ucqn.ParsePatterns(`B^ioo B^oio C^oo L^o`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query:      ", q)
+	fmt.Println("patterns:   ", ps)
+	fmt.Println("executable: ", ucqn.Executable(q, ps)) // false: B needs i or a
+	fmt.Println("orderable:  ", ucqn.Orderable(q, ps))  // true: call C first
+
+	res := ucqn.Feasible(q, ps)
+	fmt.Printf("feasible:    %v (%s)\n", res.Feasible, res.Verdict)
+
+	ordered, _ := ucqn.Reorder(q, ps)
+	fmt.Println("plan:       ", ordered)
+
+	// Run the plan against an in-memory "web service" deployment.
+	in := ucqn.NewInstance()
+	err = in.ParseInto(`
+		B("0201", "knuth", "taocp vol 1").
+		B("0403", "knuth", "taocp vol 3").
+		B("0777", "date",  "db systems").
+		C("0201", "knuth").
+		C("0777", "date").
+		L("0777").
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := in.Catalog(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := ucqn.Answer(ordered, ps, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanswers (%d):\n%s\n", answers.Len(), answers)
+	st := cat.TotalStats()
+	fmt.Printf("source traffic: %d calls, %d tuples transferred\n", st.Calls, st.TuplesReturned)
+}

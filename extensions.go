@@ -1,0 +1,171 @@
+package ucqn
+
+// Facade over the extension subsystems that go beyond the paper's four
+// figures: GAV view unfolding (the mediator front end of Section 6),
+// semantic optimization with inclusion dependencies (Example 6), the
+// call-minimizing plan order, the Chekuri–Rajaraman acyclic containment
+// fast path (Section 5.1), and source-call caching.
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mediator"
+	"repro/internal/parser"
+	"repro/internal/program"
+	"repro/internal/services"
+	"repro/internal/sources"
+)
+
+// Views is a set of global-as-view definitions; queries over the global
+// schema unfold into UCQ¬ plans over the sources.
+type Views = mediator.Views
+
+// NewViews returns an empty GAV view set. Register definitions with
+// Add (each definition is a negation-free UCQ naming the global relation
+// in its head) and rewrite client queries with Unfold.
+func NewViews() *Views { return mediator.NewViews() }
+
+// Program is a nonrecursive Datalog¬ program: multi-level IDB
+// definitions over source relations, compiled per predicate into UCQ¬
+// by repeated unfolding.
+type Program = program.Program
+
+// NewProgram returns an empty nonrecursive Datalog¬ program. Add rules
+// (ParseRules accepts multi-head rule text), then Compile a predicate to
+// a UCQ¬ over the sources.
+func NewProgram() *Program { return program.New() }
+
+// ParseRules parses rules that may define several head predicates (for
+// Program input).
+func ParseRules(src string) ([]Rule, error) { return parser.ParseRules(src) }
+
+// IND is an inclusion dependency From[FromCols] ⊆ To[ToCols] (a foreign
+// key when the columns are keys).
+type IND = constraints.IND
+
+// INDSet is a set of inclusion dependencies with the Example 6 semantic
+// optimizer: Optimize drops rules that the dependencies refute.
+type INDSet = constraints.Set
+
+// ParseINDs reads dependencies in the form "R[1] < S[0]; T[0,1] < U[1,0]".
+func ParseINDs(src string) (INDSet, error) { return constraints.Parse(src) }
+
+// MustParseINDs is ParseINDs that panics on error.
+func MustParseINDs(src string) INDSet { return constraints.MustParse(src) }
+
+// FeasibleUnder decides feasibility modulo inclusion dependencies: rules
+// whose chase is unsatisfiable are dropped (they are empty on every
+// instance satisfying the dependencies), then FEASIBLE runs on the
+// remainder. The Example 4 query is infeasible in general but feasible
+// under Example 6's foreign key.
+func FeasibleUnder(q Query, ps *PatternSet, inds INDSet) FeasibleResult {
+	return constraints.FeasibleUnder(q, ps, inds)
+}
+
+// AnswerStarUnder runs ANSWER* on the semantically optimized query
+// (rules the dependencies refute are dropped before planning). Use only
+// when the sources' data satisfies the dependencies.
+func AnswerStarUnder(q Query, ps *PatternSet, cat *Catalog, inds INDSet) (AnswerStar, error) {
+	return constraints.AnswerStarUnder(q, ps, cat, inds)
+}
+
+// OptimizeOrder returns an executable reordering of the query chosen to
+// reduce source traffic (filters first, bound-is-easier), and whether
+// every rule was orderable. Reorder returns ANSWERABLE's discovery
+// order instead; both are equivalent to the input.
+func OptimizeOrder(q Query, ps *PatternSet) (Query, bool) {
+	return core.OptimizeOrderUCQ(q, ps)
+}
+
+// PlanStats carries per-relation cardinality estimates for cost-based
+// plan ordering.
+type PlanStats = core.Stats
+
+// StatsFromCardinalities builds PlanStats from table sizes, with a
+// sqrt(n) distinct-values heuristic per column.
+func StatsFromCardinalities(cards map[string]int) PlanStats {
+	return core.StatsFromCardinalities(cards)
+}
+
+// CostOrder returns an executable order minimizing estimated source
+// calls under the given statistics: exact (branch and bound) for small
+// bodies, greedy beyond. ok is false when some rule is not orderable.
+func CostOrder(q Query, ps *PatternSet, st PlanStats) (Query, bool) {
+	return core.CostOrderUCQ(q, ps, st)
+}
+
+// AcyclicRule reports whether the hypergraph of the rule's positive
+// literals is α-acyclic. Containment into negation-free acyclic rules
+// is decided by a polynomial semijoin program (Chekuri & Rajaraman,
+// ICDT 1997) instead of backtracking search.
+func AcyclicRule(r Rule) bool { return containment.Acyclic(r) }
+
+// Witness is a checkable certificate for a containment P ⊑ Q (the tree
+// of Theorem 13): verify one with VerifyWitness.
+type Witness = containment.Witness
+
+// FeasibleExplanation is a FEASIBLE verdict with containment witnesses
+// for the expensive path.
+type FeasibleExplanation = core.Explanation
+
+// ExplainFeasible is Feasible with auditable evidence: when the verdict
+// came from the containment test, the explanation carries one witness
+// per overestimate rule.
+func ExplainFeasible(q Query, ps *PatternSet) FeasibleExplanation {
+	return core.ExplainFeasible(q, ps)
+}
+
+// ExplainContained returns a checkable witness for p ⊑ q, or ok=false.
+func ExplainContained(p Rule, q Query) (*Witness, bool) {
+	return containment.NewChecker(q).Explain(p)
+}
+
+// VerifyWitness re-checks a containment witness for p ⊑ q.
+func VerifyWitness(p Rule, q Query, w *Witness) error {
+	return containment.NewChecker(q).Verify(p, w)
+}
+
+// AnswerParallel evaluates the plan with one goroutine per rule (the
+// paper's "execute each rule separately, possibly in parallel").
+func AnswerParallel(q Query, ps *PatternSet, cat *Catalog) (*Rel, error) {
+	return engine.AnswerParallel(q, ps, cat)
+}
+
+// AnswerProfiled is Answer with per-step execution accounting (an
+// EXPLAIN ANALYZE for limited-access plans).
+func AnswerProfiled(q Query, ps *PatternSet, cat *Catalog) (*Rel, ExecProfile, error) {
+	return engine.AnswerProfiled(q, ps, cat)
+}
+
+// ExecProfile is the execution profile of a plan: per-step source calls,
+// tuples, and binding-set sizes.
+type ExecProfile = engine.Profile
+
+// StepProfile is one step of an ExecProfile.
+type StepProfile = engine.StepProfile
+
+// Operation describes a web service operation op: inputs → outputs over
+// a relation's attributes (Section 1 of the paper).
+type Operation = services.Operation
+
+// OperationRegistry collects operation descriptions and derives the
+// pattern set the planner consumes.
+type OperationRegistry = services.Registry
+
+// NewOperationRegistry returns an empty web-service operation registry.
+func NewOperationRegistry() *OperationRegistry { return services.NewRegistry() }
+
+// CachedSource wraps a source with a call cache; repeated identical
+// calls are served locally.
+type CachedSource = sources.Cached
+
+// NewCachedSource wraps src with a cache.
+func NewCachedSource(src Source) *CachedSource { return sources.NewCached(src) }
+
+// CachedCatalog wraps every source of the catalog with a cache,
+// returning the wrapped catalog and the cache handles.
+func CachedCatalog(cat *Catalog) (*Catalog, []*CachedSource, error) {
+	return sources.CachedCatalog(cat)
+}

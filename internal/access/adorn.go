@@ -1,0 +1,162 @@
+package access
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// AdornedLiteral is a body literal together with the access pattern chosen
+// for it. A sequence of adorned literals is an execution plan fragment:
+// executed left to right, each positive literal is a source call and each
+// negated literal is a filter (footnote 4 of the paper: already-bound
+// output slots are checked by post-filtering the call result).
+type AdornedLiteral struct {
+	Literal logic.Literal
+	Pattern Pattern
+}
+
+// String renders the adorned literal, e.g. B^oio(i, a, t).
+func (al AdornedLiteral) String() string {
+	s := fmt.Sprintf("%s^%s(%s)", al.Literal.Atom.Pred, al.Pattern, joinTerms(al.Literal.Atom.Args))
+	if al.Literal.Negated {
+		return "not " + s
+	}
+	return s
+}
+
+func joinTerms(ts []logic.Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// AdornInOrder checks whether the body literals, in the given order, form
+// an executable plan under the pattern set (Definition 3 of the paper):
+// scanning left to right with a set of bound variables (constants are
+// always bound),
+//
+//   - a positive literal needs some pattern whose input-slot variables are
+//     all bound; its variables then all become bound;
+//   - a negated literal needs all its variables bound already and at least
+//     one pattern of the right arity to call the source as a filter.
+//
+// On success it returns the chosen adornments. The empty body (the query
+// "true") is not executable.
+func AdornInOrder(body []logic.Literal, ps *Set) ([]AdornedLiteral, bool) {
+	return AdornInOrderPrefer(body, ps, PreferMostInputs)
+}
+
+// AdornStrategy selects among the usable patterns of a callable literal.
+type AdornStrategy int
+
+const (
+	// PreferMostInputs pushes selections into the source: among usable
+	// patterns, the one with the most input slots transfers the fewest
+	// tuples. This is the default.
+	PreferMostInputs AdornStrategy = iota
+	// PreferFewestInputs asks for the widest retrieval; useful as an
+	// ablation baseline and when answers will be cached and reused.
+	PreferFewestInputs
+)
+
+// AdornInOrderPrefer is AdornInOrder with an explicit pattern-selection
+// strategy. The strategy never changes which bodies are executable —
+// only how much data the sources ship back.
+func AdornInOrderPrefer(body []logic.Literal, ps *Set, strat AdornStrategy) ([]AdornedLiteral, bool) {
+	if len(body) == 0 {
+		return nil, false
+	}
+	bound := map[string]bool{}
+	plan := make([]AdornedLiteral, 0, len(body))
+	for _, l := range body {
+		p, ok := adornOne(l, ps, bound, strat)
+		if !ok {
+			return nil, false
+		}
+		plan = append(plan, AdornedLiteral{Literal: l.Clone(), Pattern: p})
+		for _, v := range l.Vars() {
+			bound[v.Name] = true
+		}
+	}
+	return plan, true
+}
+
+// adornOne picks a pattern for literal l given the bound variables, or
+// reports that none works.
+func adornOne(l logic.Literal, ps *Set, bound map[string]bool, strat AdornStrategy) (Pattern, bool) {
+	if l.Negated {
+		// A negated call can only filter: every variable must already be
+		// bound, and the source must be callable at all (any pattern is
+		// then usable: input slots are supplied; extra outputs are
+		// post-filtered).
+		for _, v := range l.Vars() {
+			if !bound[v.Name] {
+				return "", false
+			}
+		}
+		var best Pattern
+		found := false
+		for _, p := range ps.Patterns(l.Atom.Pred) {
+			if len(p) != len(l.Atom.Args) {
+				continue
+			}
+			if !found || better(p, best, strat) {
+				best, found = p, true
+			}
+		}
+		return best, found
+	}
+	var best Pattern
+	found := false
+	for _, p := range ps.Patterns(l.Atom.Pred) {
+		if len(p) != len(l.Atom.Args) {
+			continue
+		}
+		usable := true
+		for j, t := range l.Atom.Args {
+			if p.Input(j) && t.IsVar() && !bound[t.Name] {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		if !found || better(p, best, strat) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+func better(p, q Pattern, strat AdornStrategy) bool {
+	if strat == PreferFewestInputs {
+		return p.InputCount() < q.InputCount()
+	}
+	return p.InputCount() > q.InputCount()
+}
+
+// ExecutableCQ reports whether q, with its literal order as written, is
+// executable under ps. The query "false" is vacuously executable
+// (paper, Section 3); the query "true" is not.
+func ExecutableCQ(q logic.CQ, ps *Set) bool {
+	if q.False {
+		return true
+	}
+	_, ok := AdornInOrder(q.Body, ps)
+	return ok
+}
+
+// ExecutableUCQ reports whether every rule of u is executable as written.
+func ExecutableUCQ(u logic.UCQ, ps *Set) bool {
+	for _, r := range u.Rules {
+		if !ExecutableCQ(r, ps) {
+			return false
+		}
+	}
+	return true
+}

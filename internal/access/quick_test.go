@@ -1,0 +1,139 @@
+package access
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// genPattern is a quick.Generator for patterns of arity 1–4.
+type genPattern struct {
+	P Pattern
+}
+
+func (genPattern) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(4)
+	w := make([]byte, n)
+	for i := range w {
+		if r.Intn(2) == 0 {
+			w[i] = 'i'
+		} else {
+			w[i] = 'o'
+		}
+	}
+	return reflect.ValueOf(genPattern{P: Pattern(w)})
+}
+
+func qc(t *testing.T, f any) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsumptionIsAPreorder(t *testing.T) {
+	qc(t, func(a genPattern) bool { return a.P.Subsumes(a.P) })
+	qc(t, func(a, b, c genPattern) bool {
+		// Transitivity on same-arity triples.
+		if len(a.P) != len(b.P) || len(b.P) != len(c.P) {
+			return true
+		}
+		if a.P.Subsumes(b.P) && b.P.Subsumes(c.P) {
+			return a.P.Subsumes(c.P)
+		}
+		return true
+	})
+}
+
+func TestQuickAllOutputSubsumesEverything(t *testing.T) {
+	qc(t, func(a genPattern) bool {
+		return AllOutputPattern(a.P.Arity()).Subsumes(a.P)
+	})
+}
+
+func TestQuickSubsumptionImpliesCallability(t *testing.T) {
+	// If p subsumes q and an atom is callable through a set containing
+	// only q, it is also callable through a set containing only p.
+	qc(t, func(a, b genPattern, boundMask uint8) bool {
+		if len(a.P) != len(b.P) || !a.P.Subsumes(b.P) {
+			return true
+		}
+		args := make([]logic.Term, a.P.Arity())
+		bound := map[string]bool{}
+		for i := range args {
+			name := string(rune('a' + i))
+			args[i] = logic.Var(name)
+			if boundMask&(1<<i) != 0 {
+				bound[name] = true
+			}
+		}
+		atom := logic.NewAtom("R", args...)
+		withQ := NewSet()
+		_ = withQ.Add("R", b.P)
+		withP := NewSet()
+		_ = withP.Add("R", a.P)
+		if _, ok := withQ.Callable(atom, bound); ok {
+			_, ok2 := withP.Callable(atom, bound)
+			return ok2
+		}
+		return true
+	})
+}
+
+func TestQuickCallabilityIsMonotoneInBindings(t *testing.T) {
+	qc(t, func(a genPattern, boundMask uint8) bool {
+		args := make([]logic.Term, a.P.Arity())
+		smaller := map[string]bool{}
+		larger := map[string]bool{}
+		for i := range args {
+			name := string(rune('a' + i))
+			args[i] = logic.Var(name)
+			if boundMask&(1<<i) != 0 {
+				smaller[name] = true
+			}
+			larger[name] = true
+		}
+		atom := logic.NewAtom("R", args...)
+		s := NewSet()
+		_ = s.Add("R", a.P)
+		if _, ok := s.Callable(atom, smaller); ok {
+			_, ok2 := s.Callable(atom, larger)
+			return ok2
+		}
+		return true
+	})
+}
+
+func TestQuickMinimizePreservesCallability(t *testing.T) {
+	qc(t, func(a, b, c genPattern, boundMask uint8) bool {
+		// Force equal arity by truncating to the shortest.
+		n := len(a.P)
+		if len(b.P) < n {
+			n = len(b.P)
+		}
+		if len(c.P) < n {
+			n = len(c.P)
+		}
+		s := NewSet()
+		_ = s.Add("R", a.P[:n])
+		_ = s.Add("R", b.P[:n])
+		_ = s.Add("R", c.P[:n])
+		m := s.Minimize()
+		args := make([]logic.Term, n)
+		bound := map[string]bool{}
+		for i := range args {
+			name := string(rune('a' + i))
+			args[i] = logic.Var(name)
+			if boundMask&(1<<i) != 0 {
+				bound[name] = true
+			}
+		}
+		atom := logic.NewAtom("R", args...)
+		_, okS := s.Callable(atom, bound)
+		_, okM := m.Callable(atom, bound)
+		return okS == okM
+	})
+}

@@ -1,0 +1,191 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, fn func([]string, *strings.Reader, *bytes.Buffer, *bytes.Buffer) int,
+	args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := fn(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func feasibleCmd(args []string, in *strings.Reader, out, errb *bytes.Buffer) int {
+	return Feasible(args, in, out, errb)
+}
+func planCmd(args []string, in *strings.Reader, out, errb *bytes.Buffer) int {
+	return Plan(args, in, out, errb)
+}
+func answerCmd(args []string, in *strings.Reader, out, errb *bytes.Buffer) int {
+	return Answer(args, in, out, errb)
+}
+
+const ex1Query = `Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`
+const ex1Patterns = `B^ioo B^oio C^oo L^o`
+
+func TestFeasibleCommandFeasible(t *testing.T) {
+	code, out, _ := run(t, feasibleCmd, []string{"-patterns", ex1Patterns}, ex1Query)
+	if code != ExitOK {
+		t.Fatalf("exit = %d, want 0; out:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"executable as written: false",
+		"orderable:             true",
+		"feasible:              true",
+		"executable reordering",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFeasibleCommandInfeasible(t *testing.T) {
+	code, out, _ := run(t, feasibleCmd,
+		[]string{"-patterns", "F^o B^i", "-verbose"}, `Q(x) :- F(x), B(y).`)
+	if code != ExitInfeasible {
+		t.Fatalf("exit = %d, want 1; out:\n%s", code, out)
+	}
+	for _, want := range []string{"feasible:              false", "ans(Q)", "underestimate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFeasibleCommandUsageErrors(t *testing.T) {
+	if code, _, errs := run(t, feasibleCmd, nil, ""); code != ExitUsage || !strings.Contains(errs, "-patterns") {
+		t.Errorf("missing -patterns: code=%d err=%q", code, errs)
+	}
+	if code, _, _ := run(t, feasibleCmd, []string{"-patterns", "B^zz"}, ex1Query); code != ExitUsage {
+		t.Error("bad pattern must be a usage error")
+	}
+	if code, _, _ := run(t, feasibleCmd, []string{"-patterns", ex1Patterns}, "not a query"); code != ExitUsage {
+		t.Error("bad query must be a usage error")
+	}
+	if code, _, _ := run(t, feasibleCmd, []string{"-bogusflag"}, ""); code != ExitUsage {
+		t.Error("unknown flag must be a usage error")
+	}
+	if code, _, _ := run(t, feasibleCmd, []string{"-patterns", ex1Patterns, "-query", "/nonexistent/q"}, ""); code != ExitUsage {
+		t.Error("unreadable file must be a usage error")
+	}
+}
+
+func TestFeasibleCommandWitness(t *testing.T) {
+	// Example 9 is decided by containment; -verbose must print the
+	// witness mapping.
+	code, out, _ := run(t, feasibleCmd,
+		[]string{"-patterns", "F^o B^i", "-verbose"}, `Q(x) :- F(x), B(x), B(y), F(z).`)
+	if code != ExitOK {
+		t.Fatalf("exit = %d; out:\n%s", code, out)
+	}
+	for _, want := range []string{"containment witness for overestimate rule 1", "via disjunct 1 with σ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFeasibleCommandFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.dlog")
+	if err := os.WriteFile(path, []byte(ex1Query), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := run(t, feasibleCmd, []string{"-patterns", ex1Patterns, "-query", path}, "")
+	if code != ExitOK || !strings.Contains(out, "feasible:              true") {
+		t.Errorf("code=%d out:\n%s", code, out)
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	query := "Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y)."
+	code, out, _ := run(t, planCmd, []string{"-patterns", "S^o R^oo B^oi T^oo"}, query)
+	if code != ExitOK {
+		t.Fatalf("exit = %d; out:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"rule 1:",
+		"answerable part:   Q(x, y) :- R(x, z), not S(z)",
+		"unanswerable part: B(x, y)",
+		"execution steps:",
+		"overestimate contains null",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Orderable query gets the feasible verdict line.
+	_, out2, _ := run(t, planCmd, []string{"-patterns", ex1Patterns}, ex1Query)
+	if !strings.Contains(out2, "feasible (orderable)") {
+		t.Errorf("orderable verdict missing:\n%s", out2)
+	}
+}
+
+func TestAnswerCommand(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "facts.dlog")
+	if err := os.WriteFile(data, []byte(`
+		R("a", "b").
+		B("a", "b").
+		S("c").
+		T("t1", "t2").
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	query := "Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y)."
+	args := []string{"-patterns", "S^o R^oo B^oi T^oo", "-data", data}
+	code, out, _ := run(t, answerCmd, args, query)
+	if code != ExitOK {
+		t.Fatalf("exit = %d; out:\n%s", code, out)
+	}
+	for _, want := range []string{
+		`("t1", "t2")`,
+		"not known to be complete",
+		`("a", null)`,
+		"source traffic:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// With -improve the dom view recovers (a, b).
+	code, out, _ = run(t, answerCmd, append(args, "-improve"), query)
+	if code != ExitOK {
+		t.Fatalf("exit = %d; out:\n%s", code, out)
+	}
+	for _, want := range []string{"domain enumeration:", "__dom(y)", `("a", "b")`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("improve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnswerCommandCompleteCase(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "facts.dlog")
+	if err := os.WriteFile(data, []byte(`R("x1", "z1"). S("z1"). T("t1", "t2").`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	query := "Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y)."
+	code, out, _ := run(t, answerCmd,
+		[]string{"-patterns", "S^o R^oo B^oi T^oo", "-data", data}, query)
+	if code != ExitOK || !strings.Contains(out, "answer is complete") {
+		t.Errorf("code=%d out:\n%s", code, out)
+	}
+}
+
+func TestAnswerCommandUsageErrors(t *testing.T) {
+	if code, _, _ := run(t, answerCmd, []string{"-patterns", "R^o"}, ""); code != ExitUsage {
+		t.Error("missing -data must be a usage error")
+	}
+	if code, _, _ := run(t, answerCmd, []string{"-patterns", "R^o", "-data", "/nonexistent"}, "Q(x) :- R(x)."); code != ExitUsage {
+		t.Error("unreadable data file must be a usage error")
+	}
+}

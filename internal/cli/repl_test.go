@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runRepl(t *testing.T, script string) (string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := Repl(strings.NewReader(script), &out, &errb)
+	if code != ExitOK {
+		t.Fatalf("Repl exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestReplFullSession(t *testing.T) {
+	out, errs := runRepl(t, `
+:patterns B^ioo B^oio C^oo L^o
+:fact B("i1", "knuth", "taocp"). B("i2", "date", "dbintro"). C("i1", "knuth"). L("i2").
+Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).
+:show
+:feasible
+:plan
+:answer
+:quit
+`)
+	if errs != "" {
+		t.Errorf("stderr = %q", errs)
+	}
+	for _, want := range []string{
+		"patterns: B^ioo B^oio C^oo L^o",
+		"instance now has 4 tuples",
+		"staged 1 rule(s)",
+		"feasible:   true (underestimate equals overestimate)",
+		"underestimate Q^u:",
+		`("i1", "knuth", "taocp")`,
+		"answer is complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplMultiRuleAndClear(t *testing.T) {
+	out, _ := runRepl(t, `
+:patterns T^oo S^o R^oo B^oi
+Q(x, y) :- not S(z), R(x, z), B(x, y).
+Q(x, y) :- T(x, y).
+:feasible
+:clear
+:show
+`)
+	for _, want := range []string{
+		"staged 2 rule(s)",
+		"feasible:   false (null in overestimate)",
+		"query cleared",
+		"query:    (none)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplINDsChangeVerdict(t *testing.T) {
+	out, _ := runRepl(t, `
+:patterns T^oo S^o R^oo B^oi
+:inds R[1] < S[0]
+Q(x, y) :- not S(z), R(x, z), B(x, y).
+Q(x, y) :- T(x, y).
+:feasible
+`)
+	for _, want := range []string{
+		"1 inclusion dependencies",
+		"semantic optimizer dropped 1 rule(s)",
+		"feasible:   true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplErrors(t *testing.T) {
+	_, errs := runRepl(t, `
+:patterns B^zz
+:fact R(x).
+:inds garbage
+:feasible
+:bogus
+Q(x) :- ~
+:quit
+`)
+	for _, want := range []string{
+		"invalid pattern",
+		"non-constant argument",
+		"want R[cols]",
+		"no query staged",
+		"unknown command",
+		"unexpected character",
+	} {
+		if !strings.Contains(errs, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errs)
+		}
+	}
+}
+
+func TestReplNeedsPatterns(t *testing.T) {
+	_, errs := runRepl(t, `
+Q(x) :- R(x).
+:feasible
+:plan
+:answer
+`)
+	if got := strings.Count(errs, "no patterns declared"); got != 3 {
+		t.Errorf("want 3 pattern errors, got %d:\n%s", got, errs)
+	}
+}
+
+func TestReplHelpAndEOF(t *testing.T) {
+	out, _ := runRepl(t, ":help\n")
+	if !strings.Contains(out, ":patterns") {
+		t.Errorf("help output = %q", out)
+	}
+}

@@ -1,0 +1,252 @@
+package containment
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// This file implements the acyclic fast path the paper points to in
+// Section 5.1: Chekuri & Rajaraman (ICDT 1997) show containment in an
+// acyclic CQ is decidable in polynomial time, and "by the nature of the
+// algorithm in [WL03], these gains … will also improve the test for
+// containment of CQ¬ and UCQ¬". When a disjunct Qᵢ of the right-hand
+// query is negation-free and acyclic, the checker replaces the
+// backtracking containment-mapping search by a Yannakakis-style
+// semijoin program over Qᵢ's join tree.
+
+// Acyclic reports whether the hypergraph of q's positive literals is
+// α-acyclic, using GYO ear removal. Queries with no positive literals
+// are trivially acyclic.
+func Acyclic(q logic.CQ) bool {
+	_, ok := joinTree(q.Positive())
+	return ok
+}
+
+// joinTree runs GYO reduction and returns, for each literal index, the
+// parent literal index it was absorbed into (-1 for the root/last
+// remaining edges), together with the removal order. ok is false when
+// the hypergraph is cyclic.
+func joinTree(pos []logic.Literal) (tree joinTreeInfo, ok bool) {
+	n := len(pos)
+	tree.parent = make([]int, n)
+	for i := range tree.parent {
+		tree.parent[i] = -1
+	}
+	if n <= 1 {
+		return tree, true
+	}
+	vars := make([]map[string]bool, n)
+	for i, l := range pos {
+		vars[i] = map[string]bool{}
+		for _, v := range l.Vars() {
+			vars[i][v.Name] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for remaining > 1 {
+		removed := false
+		for e := 0; e < n && remaining > 1; e++ {
+			if !alive[e] {
+				continue
+			}
+			// Shared vertices of e: those appearing in another live edge.
+			shared := map[string]bool{}
+			for v := range vars[e] {
+				for w := 0; w < n; w++ {
+					if w != e && alive[w] && vars[w][v] {
+						shared[v] = true
+						break
+					}
+				}
+			}
+			// e is an ear if some other live edge w covers shared(e).
+			for w := 0; w < n; w++ {
+				if w == e || !alive[w] {
+					continue
+				}
+				covered := true
+				for v := range shared {
+					if !vars[w][v] {
+						covered = false
+						break
+					}
+				}
+				if covered {
+					alive[e] = false
+					tree.parent[e] = w
+					tree.order = append(tree.order, e)
+					remaining--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return tree, false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			tree.root = i
+			tree.order = append(tree.order, i)
+		}
+	}
+	return tree, true
+}
+
+type joinTreeInfo struct {
+	parent []int // parent[i] = literal index i was absorbed into, -1 for root
+	order  []int // removal order; root last
+	root   int
+}
+
+// acyclicMappingExists reports whether a containment mapping from the
+// negation-free acyclic query q into p exists, by a bottom-up semijoin
+// over q's join tree. sigma0 is the head-alignment binding. It must
+// only be called when q has no negative literals (and hence no
+// unconstrained variables to enumerate).
+func acyclicMappingExists(p, q logic.CQ, tree joinTreeInfo) bool {
+	qPos := q.Positive()
+	if len(qPos) == 0 {
+		return true
+	}
+	sigma0, ok := headAlignment(p, q)
+	if !ok {
+		return false
+	}
+	pPos := p.Positive()
+
+	// Candidate assignments per node, restricted to the node's variables.
+	cands := make([]map[string]logic.Subst, len(qPos))
+	for i, ql := range qPos {
+		cands[i] = map[string]logic.Subst{}
+		for _, pl := range pPos {
+			if pl.Atom.Pred != ql.Atom.Pred || pl.Atom.Arity() != ql.Atom.Arity() {
+				continue
+			}
+			if a, ok := extend(sigma0, ql.Atom, pl.Atom); ok {
+				local := restrict(a, ql)
+				cands[i][substKey(local)] = local
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+
+	// children[w] = ears absorbed into w.
+	children := make(map[int][]int)
+	for e, w := range tree.parent {
+		if w >= 0 {
+			children[w] = append(children[w], e)
+		}
+	}
+	// Process in removal order (children always precede parents), hash
+	// semijoin on the shared variables so each pass is linear in the
+	// candidate sets.
+	for _, node := range tree.order {
+		for _, c := range children[node] {
+			shared := sharedVars(qPos[node], qPos[c])
+			// Index the child's candidates by their shared-variable
+			// projection.
+			index := map[string]bool{}
+			for _, b := range cands[c] {
+				index[projKey(b, shared)] = true
+			}
+			for key, a := range cands[node] {
+				if !index[projKey(a, shared)] {
+					delete(cands[node], key)
+				}
+			}
+			if len(cands[node]) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sharedVars lists the variable names common to two literals, sorted.
+func sharedVars(a, b logic.Literal) []string {
+	inA := map[string]bool{}
+	for _, v := range a.Vars() {
+		inA[v.Name] = true
+	}
+	var out []string
+	for _, v := range b.Vars() {
+		if inA[v.Name] {
+			out = append(out, v.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// projKey encodes an assignment's values on the given variables.
+func projKey(a logic.Subst, vars []string) string {
+	var b strings.Builder
+	for _, v := range vars {
+		b.WriteString(a[v].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// restrict keeps only the bindings for variables of literal ql.
+func restrict(a logic.Subst, ql logic.Literal) logic.Subst {
+	out := logic.NewSubst()
+	for _, v := range ql.Vars() {
+		if t, ok := a[v.Name]; ok {
+			out[v.Name] = t
+		}
+	}
+	return out
+}
+
+func substKey(s logic.Subst) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s[k].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// headAlignment computes the initial binding unifying q's head with p's
+// head (the σ-is-identity-on-free-variables requirement).
+func headAlignment(p, q logic.CQ) (logic.Subst, bool) {
+	if len(p.HeadArgs) != len(q.HeadArgs) || p.HeadPred != q.HeadPred {
+		return nil, false
+	}
+	sigma := logic.NewSubst()
+	for j, qa := range q.HeadArgs {
+		pa := p.HeadArgs[j]
+		if qa.IsVar() {
+			if bound, ok := sigma[qa.Name]; ok {
+				if bound != pa {
+					return nil, false
+				}
+				continue
+			}
+			sigma[qa.Name] = pa
+			continue
+		}
+		if qa != pa {
+			return nil, false
+		}
+	}
+	return sigma, true
+}

@@ -1,0 +1,117 @@
+package containment
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/workload"
+)
+
+func TestAcyclic(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"single atom", `Q(x) :- R(x, y).`, true},
+		{"chain", `Q(x) :- E(x, y), E(y, z), E(z, w).`, true},
+		{"star", `Q(x) :- R(x, a), S(x, b), T(x, c).`, true},
+		{"triangle", `Q(x) :- E(x, y), E(y, z), E(z, x).`, false},
+		{"square", `Q(x) :- E(x, y), F(y, z), G(z, w), H(w, x).`, false},
+		{"covered cycle", `Q(x) :- T3(x, y, z), E(x, y), E(y, z), E(z, x).`, true},
+		{"negation ignored in hypergraph", `Q(x) :- E(x, y), not F(y, x).`, true},
+		{"no positive literals", `Q() :- true.`, true},
+		{"two components", `Q(x) :- R(x, y), S(a, b).`, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Acyclic(cq(t, tt.src)); got != tt.want {
+				t.Errorf("Acyclic = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// The acyclic fast path must agree with the backtracking search on every
+// negation-free containment instance.
+func TestAcyclicFastPathAgreement(t *testing.T) {
+	g := workload.New(88)
+	s := g.Schema(3, 1, 3)
+	cfg := workload.QueryConfig{PosLits: 3, NegLits: 0, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 4}
+	acyclicSeen := 0
+	for i := 0; i < 300; i++ {
+		p := g.CQ(s, cfg)
+		q := g.CQ(s, cfg)
+		fast := NewChecker(logic.AsUnion(q))
+		slow := NewChecker(logic.AsUnion(q))
+		slow.DisableAcyclic = true
+		got := fast.Contains(p)
+		want := slow.Contains(p)
+		if got != want {
+			t.Fatalf("fast path disagreement on\nP=%s\nQ=%s\nfast=%v slow=%v (acyclic=%v)",
+				p, q, got, want, Acyclic(q))
+		}
+		if fast.AcyclicHits > 0 {
+			acyclicSeen++
+		}
+	}
+	if acyclicSeen == 0 {
+		t.Error("fast path never engaged; generator or acyclicity test mis-tuned")
+	}
+}
+
+// Chain containments (deep acyclic instances) through the fast path.
+func TestAcyclicChains(t *testing.T) {
+	chain := func(n int, loop bool) logic.CQ {
+		q := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{logic.Var("x0")}}
+		for i := 0; i < n; i++ {
+			q.Body = append(q.Body, logic.Pos(logic.NewAtom("E",
+				logic.Var(fmt.Sprintf("x%d", i)), logic.Var(fmt.Sprintf("x%d", i+1)))))
+		}
+		if loop {
+			q.Body = append(q.Body, logic.Pos(logic.NewAtom("E",
+				logic.Var(fmt.Sprintf("x%d", n)), logic.Var("x0"))))
+		}
+		return q
+	}
+	// A cycle of length n+1 maps onto any chain of length ≤ n+1... it
+	// does not (heads); but a chain of length 2n contains... keep it
+	// concrete: the loop query is contained in the plain chain of equal
+	// length (drop the closing edge), not conversely.
+	for _, n := range []int{3, 7, 15} {
+		p := chain(n, true)
+		q := chain(n, false)
+		c := NewChecker(logic.AsUnion(q))
+		if !c.Contains(p) {
+			t.Errorf("n=%d: looped chain must be contained in open chain", n)
+		}
+		if c.AcyclicHits == 0 {
+			t.Errorf("n=%d: expected the acyclic fast path to engage", n)
+		}
+		c2 := NewChecker(logic.AsUnion(p))
+		if c2.Contains(q) {
+			t.Errorf("n=%d: open chain must not be contained in looped chain", n)
+		}
+	}
+}
+
+// The fast path also accelerates the Wei–Lausen recursion: negation-free
+// acyclic disjuncts inside a union with negation still use it.
+func TestAcyclicInsideUnionWithNegation(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	u := ucq(t, `
+		Q(x) :- R(x), not S(x).
+		Q(x) :- R(x), S(x).
+	`)
+	c := NewChecker(u)
+	if !c.Contains(p) {
+		t.Fatal("containment expected")
+	}
+	// Both disjuncts have negative literals or... the second doesn't:
+	// R(x), S(x) is negation-free and acyclic, so the recursive call
+	// P ∧ S(x) ⊑ Q should hit the fast path.
+	if c.AcyclicHits == 0 {
+		t.Error("expected acyclic hits in the recursion")
+	}
+}

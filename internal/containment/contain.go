@@ -1,0 +1,209 @@
+package containment
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Checker decides containment of CQ¬ queries in a fixed UCQ¬ query Q,
+// memoizing subproblems across calls. It implements Theorem 13 of the
+// paper (Wei & Lausen, Theorem 5): P ⊑ Q iff P is unsatisfiable, or some
+// disjunct Qᵢ admits a containment mapping σ witnessing P⁺ ⊑ Qᵢ⁺ such
+// that for every negative literal ¬R(ȳ) of Qᵢ, R(σȳ) is not in P and
+// P ∧ R(σȳ) ⊑ Q. The recursion terminates because each step conjoins to
+// P a new atom over P's own terms, of which there are finitely many.
+//
+// Checker also counts the work done (recursion nodes and containment
+// mappings tried), which the benchmark harness reports.
+type Checker struct {
+	q     logic.UCQ
+	memo  map[string]bool
+	limit int
+	trees []*joinTreeInfo // per-disjunct join tree (nil = cyclic or has negation)
+
+	// DisableAcyclic turns off the Chekuri–Rajaraman acyclic fast path
+	// (Section 5.1 of the paper); for ablation benchmarks.
+	DisableAcyclic bool
+
+	// Nodes is the number of (sub)containment problems examined,
+	// including memo hits.
+	Nodes int
+	// MemoHits is the number of subproblems answered from the memo table.
+	MemoHits int
+	// AcyclicHits counts disjunct checks answered by the acyclic
+	// semijoin program instead of backtracking search.
+	AcyclicHits int
+}
+
+// ErrBudget is returned by ContainsLimited when the node budget is
+// exhausted before the search concludes.
+var ErrBudget = errors.New("containment: node budget exhausted")
+
+// NewChecker returns a checker for containment in q.
+func NewChecker(q logic.UCQ) *Checker {
+	c := &Checker{q: q.Clone(), memo: map[string]bool{}}
+	c.trees = make([]*joinTreeInfo, len(c.q.Rules))
+	for i, qi := range c.q.Rules {
+		if len(qi.Negative()) > 0 {
+			continue // enumeration needed; fast path does existence only
+		}
+		if tree, ok := joinTree(qi.Positive()); ok {
+			t := tree
+			c.trees[i] = &t
+		}
+	}
+	return c
+}
+
+// ContainsLimited is Contains with a bound on the number of containment
+// subproblems examined; it returns ErrBudget when the bound is hit. Use
+// it when feeding adversarial or randomly generated queries to the
+// Π₂ᴾ-complete test.
+func (c *Checker) ContainsLimited(p logic.CQ, maxNodes int) (result bool, err error) {
+	if maxNodes <= 0 {
+		return false, ErrBudget
+	}
+	c.limit = c.Nodes + maxNodes
+	defer func() {
+		c.limit = 0
+		if r := recover(); r != nil {
+			if r == errBudgetSentinel {
+				err = ErrBudget
+				return
+			}
+			panic(r)
+		}
+	}()
+	return c.Contains(p), nil
+}
+
+var errBudgetSentinel = new(int)
+
+// Contains reports whether p ⊑ q for the checker's query q.
+func (c *Checker) Contains(p logic.CQ) bool {
+	c.Nodes++
+	if c.limit > 0 && c.Nodes > c.limit {
+		panic(errBudgetSentinel)
+	}
+	if !Satisfiable(p) {
+		return true
+	}
+	key := canonKey(p)
+	if v, ok := c.memo[key]; ok {
+		c.MemoHits++
+		return v
+	}
+	result := false
+	for i, qi := range c.q.Rules {
+		if qi.False || !Satisfiable(qi) {
+			continue
+		}
+		if !c.DisableAcyclic && c.trees[i] != nil {
+			// Negation-free acyclic disjunct: mapping existence decides,
+			// via the polynomial semijoin program (CR97, Section 5.1).
+			c.AcyclicHits++
+			if acyclicMappingExists(p, qi, *c.trees[i]) {
+				result = true
+				break
+			}
+			continue
+		}
+		if c.viaDisjunct(p, qi) {
+			result = true
+			break
+		}
+	}
+	c.memo[key] = result
+	return result
+}
+
+// viaDisjunct reports whether containment of p in the union is witnessed
+// through disjunct qi.
+func (c *Checker) viaDisjunct(p, qi logic.CQ) bool {
+	// Distinct mappings often induce the same images of qi's negative
+	// literals; each image set needs to be explored only once.
+	triedImages := map[string]bool{}
+	return findMapping(p, qi, func(sigma logic.Subst) bool {
+		negs := qi.Negative()
+		// Condition of Theorem 12/13: R(σȳ) must not occur positively
+		// in P for any negative literal ¬R(ȳ) of Qᵢ.
+		images := make([]logic.Atom, len(negs))
+		var key strings.Builder
+		for i, nl := range negs {
+			ra := sigma.Atom(nl.Atom)
+			if p.HasAtom(ra, false) {
+				return false
+			}
+			images[i] = ra
+			key.WriteString(ra.Key())
+			key.WriteByte(';')
+		}
+		if k := key.String(); triedImages[k] {
+			return false // equivalent mapping already failed (or this one is redundant)
+		} else {
+			triedImages[k] = true
+		}
+		// Recursive step: P ∧ R(σȳ) ⊑ Q for every negative literal.
+		for _, ra := range images {
+			if p.HasAtom(ra, true) {
+				// ¬R(σȳ) is already in P, so P ∧ R(σȳ) is unsatisfiable
+				// and the child containment holds trivially.
+				continue
+			}
+			ext := p.Clone()
+			ext.Body = append(ext.Body, logic.Pos(ra))
+			if !c.Contains(ext) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// canonKey renders p's head and body as an order-insensitive,
+// duplicate-insensitive key for memoization.
+func canonKey(p logic.CQ) string {
+	keys := make([]string, 0, len(p.Body))
+	seen := map[string]bool{}
+	for _, l := range p.Body {
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return p.Head().String() + " :- " + strings.Join(keys, ", ")
+}
+
+// Contained reports whether the CQ¬ query p is contained in the UCQ¬
+// query q (Theorem 13 of the paper).
+func Contained(p logic.CQ, q logic.UCQ) bool {
+	return NewChecker(q).Contains(p)
+}
+
+// ContainedCQ reports whether p ⊑ q for CQ¬ queries p and q
+// (Theorem 12 of the paper; plain Chandra–Merlin when negation-free).
+func ContainedCQ(p, q logic.CQ) bool {
+	return Contained(p, logic.AsUnion(q))
+}
+
+// ContainedUCQ reports whether p ⊑ q for UCQ¬ queries: every rule of p
+// must be contained in q.
+func ContainedUCQ(p, q logic.UCQ) bool {
+	c := NewChecker(q)
+	for _, r := range p.Rules {
+		if !c.Contains(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether p and q are logically equivalent.
+func Equivalent(p, q logic.UCQ) bool {
+	return ContainedUCQ(p, q) && ContainedUCQ(q, p)
+}

@@ -1,0 +1,331 @@
+package containment
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+func cq(t *testing.T, src string) logic.CQ {
+	t.Helper()
+	q, err := parser.ParseCQ(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func ucq(t *testing.T, src string) logic.UCQ {
+	t.Helper()
+	u, err := parser.ParseUCQ(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return u
+}
+
+func TestSatisfiable(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"positive only", `Q(x) :- R(x, y).`, true},
+		{"complementary pair", `Q(x) :- R(x), not R(x).`, false},
+		{"complement with different args", `Q(x) :- R(x, y), not R(y, x).`, true},
+		{"negation of other relation", `Q(x) :- R(x), not S(x).`, true},
+		{"ground complement", `Q(x) :- R(x), S("a"), not S("a").`, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Satisfiable(cq(t, tt.src)); got != tt.want {
+				t.Errorf("Satisfiable = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if Satisfiable(logic.FalseQuery("Q", nil)) {
+		t.Error("false must be unsatisfiable")
+	}
+	if !SatisfiableUCQ(ucq(t, "Q(x) :- R(x), not R(x).\nQ(x) :- S(x).")) {
+		t.Error("union with one satisfiable rule must be satisfiable")
+	}
+}
+
+func TestCQContainmentClassics(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q string
+		want bool
+	}{
+		{
+			"reflexive",
+			`Q(x) :- R(x, y).`, `Q(x) :- R(x, y).`,
+			true,
+		},
+		{
+			"self-loop contained in edge",
+			`Q(x) :- R(x, x).`, `Q(x) :- R(x, y).`,
+			true,
+		},
+		{
+			"edge not contained in self-loop",
+			`Q(x) :- R(x, y).`, `Q(x) :- R(x, x).`,
+			false,
+		},
+		{
+			"triangle contained in path of length 2",
+			`Q(x) :- E(x, y), E(y, z), E(z, x).`, `Q(x) :- E(x, y), E(y, z).`,
+			true,
+		},
+		{
+			"path not contained in triangle",
+			`Q(x) :- E(x, y), E(y, z).`, `Q(x) :- E(x, y), E(y, z), E(z, x).`,
+			false,
+		},
+		{
+			"boolean: loop in edge",
+			`Q() :- E(x, x).`, `Q() :- E(x, y).`,
+			true,
+		},
+		{
+			"constant must match",
+			`Q(x) :- R(x, "a").`, `Q(x) :- R(x, y).`,
+			true,
+		},
+		{
+			"variable not contained in constant",
+			`Q(x) :- R(x, y).`, `Q(x) :- R(x, "a").`,
+			false,
+		},
+		{
+			"head variables respected",
+			`Q(x, y) :- R(x, y).`, `Q(x, y) :- R(y, x).`,
+			false,
+		},
+		{
+			"redundant literal",
+			`Q(x) :- R(x, y), R(x, z).`, `Q(x) :- R(x, y).`,
+			true,
+		},
+		{
+			"other direction of redundant literal",
+			`Q(x) :- R(x, y).`, `Q(x) :- R(x, y), R(x, z).`,
+			true,
+		},
+		{
+			"different predicate",
+			`Q(x) :- R(x).`, `Q(x) :- S(x).`,
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ContainedCQ(cq(t, tt.p), cq(t, tt.q)); got != tt.want {
+				t.Errorf("ContainedCQ = %v, want %v\n p = %s\n q = %s", got, tt.want, tt.p, tt.q)
+			}
+		})
+	}
+}
+
+func TestCQNegContainment(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q string
+		want bool
+	}{
+		{
+			"dropping a negative literal generalizes",
+			`Q(x) :- R(x), not S(x).`, `Q(x) :- R(x).`,
+			true,
+		},
+		{
+			"cannot add a negative literal",
+			`Q(x) :- R(x).`, `Q(x) :- R(x), not S(x).`,
+			false,
+		},
+		{
+			"same negative literal",
+			`Q(x) :- R(x), not S(x).`, `Q(x) :- R(x), not S(x).`,
+			true,
+		},
+		{
+			"negative literal with weaker positive part",
+			`Q(x) :- R(x), T(x), not S(x).`, `Q(x) :- R(x), not S(x).`,
+			true,
+		},
+		{
+			"unsatisfiable P contained in anything",
+			`Q(x) :- R(x), not R(x).`, `Q(x) :- S(x).`,
+			true,
+		},
+		{
+			"negation mismatch on arguments",
+			`Q(x) :- R(x, y), not S(x).`, `Q(x) :- R(x, y), not S(y).`,
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ContainedCQ(cq(t, tt.p), cq(t, tt.q)); got != tt.want {
+				t.Errorf("ContainedCQ = %v, want %v\n p = %s\n q = %s", got, tt.want, tt.p, tt.q)
+			}
+		})
+	}
+}
+
+// The recursion of Theorem 13 is needed: R(x) is contained in the union
+// (R ∧ ¬S) ∨ (R ∧ S) but in neither disjunct alone.
+func TestUnionRecursionCaseSplit(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	q := ucq(t, `
+		Q(x) :- R(x), not S(x).
+		Q(x) :- R(x), S(x).
+	`)
+	if !Contained(p, q) {
+		t.Error("R(x) must be contained in (R∧¬S) ∨ (R∧S)")
+	}
+	for _, r := range q.Rules {
+		if ContainedCQ(p, r) {
+			t.Errorf("R(x) must not be contained in single disjunct %s", r)
+		}
+	}
+	// Three-way case split over two relations.
+	q2 := ucq(t, `
+		Q(x) :- R(x), not S(x), not T(x).
+		Q(x) :- R(x), S(x).
+		Q(x) :- R(x), T(x).
+	`)
+	if !Contained(p, q2) {
+		t.Error("R(x) must be contained in the three-way case split")
+	}
+	// Remove one case and containment fails.
+	q3 := ucq(t, `
+		Q(x) :- R(x), not S(x), not T(x).
+		Q(x) :- R(x), S(x).
+	`)
+	if Contained(p, q3) {
+		t.Error("R(x) must not be contained when the T case is missing")
+	}
+}
+
+// Example 3 of the paper: the union is equivalent to Q'(a) :- L(i), B(i,a,t).
+func TestExample3Equivalence(t *testing.T) {
+	u := ucq(t, `
+		Q(a) :- B(i, a, t), L(i), B(i', a', t).
+		Q(a) :- B(i, a, t), L(i), not B(i', a', t).
+	`)
+	qp := ucq(t, `Q(a) :- L(i), B(i, a, t).`)
+	if !ContainedUCQ(u, qp) {
+		t.Error("Example 3 union must be contained in Q'")
+	}
+	if !ContainedUCQ(qp, u) {
+		t.Error("Q' must be contained in the Example 3 union")
+	}
+	if !Equivalent(u, qp) {
+		t.Error("Equivalent must hold for Example 3")
+	}
+}
+
+func TestUCQContainment(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q string
+		want bool
+	}{
+		{
+			"disjunct-wise",
+			"Q(x) :- F(x), G(x).\nQ(x) :- F(x), H(x).",
+			"Q(x) :- F(x).",
+			true,
+		},
+		{
+			"union on the right",
+			"Q(x) :- F(x), G(x).",
+			"Q(x) :- G(x).\nQ(x) :- H(x).",
+			true,
+		},
+		{
+			"not contained",
+			"Q(x) :- F(x).",
+			"Q(x) :- F(x), G(x).\nQ(x) :- F(x), H(x).",
+			false,
+		},
+		{
+			"example 10: answerable part contained in query",
+			"Q(x) :- F(x), G(x).\nQ(x) :- F(x), H(x).\nQ(x) :- F(x).",
+			"Q(x) :- F(x), G(x).\nQ(x) :- F(x), H(x), B(y).\nQ(x) :- F(x).",
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ContainedUCQ(ucq(t, tt.p), ucq(t, tt.q)); got != tt.want {
+				t.Errorf("ContainedUCQ = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckerCountsWork(t *testing.T) {
+	c := NewChecker(ucq(t, `
+		Q(x) :- R(x), not S(x).
+		Q(x) :- R(x), S(x).
+	`))
+	if !c.Contains(cq(t, `Q(x) :- R(x).`)) {
+		t.Fatal("containment expected")
+	}
+	if c.Nodes < 2 {
+		t.Errorf("Nodes = %d, want at least 2 (recursion happened)", c.Nodes)
+	}
+	// Re-checking uses the memo.
+	before := c.MemoHits
+	c.Contains(cq(t, `Q(x) :- R(x).`))
+	if c.MemoHits <= before {
+		t.Error("second identical check must hit the memo")
+	}
+}
+
+func TestContainmentWithHeadConstants(t *testing.T) {
+	p := cq(t, `Q("a", x) :- R(x).`)
+	q := cq(t, `Q("a", x) :- R(x).`)
+	if !ContainedCQ(p, q) {
+		t.Error("identical head constants must be contained")
+	}
+	q2 := cq(t, `Q("b", x) :- R(x).`)
+	if ContainedCQ(p, q2) {
+		t.Error("different head constants must not be contained")
+	}
+}
+
+func TestContainmentEmptyBodyTrue(t *testing.T) {
+	// Q() :- true contains every boolean query; nothing nonempty
+	// contains it (other than itself).
+	tr := logic.CQ{HeadPred: "Q"}
+	p := cq(t, `Q() :- R(x).`)
+	if !ContainedCQ(p, tr) {
+		t.Error("R(x) must be contained in true")
+	}
+	if ContainedCQ(tr, p) {
+		t.Error("true must not be contained in R(x)")
+	}
+	if !ContainedCQ(tr, tr) {
+		t.Error("true must be contained in itself")
+	}
+}
+
+func TestContainmentFalseRules(t *testing.T) {
+	f := logic.FalseQuery("Q", []logic.Term{logic.Var("x")})
+	p := cq(t, `Q(x) :- R(x).`)
+	if !ContainedCQ(f, p) {
+		t.Error("false must be contained in anything")
+	}
+	if ContainedCQ(p, f) {
+		t.Error("a satisfiable query must not be contained in false")
+	}
+	// False disjuncts on the right are ignored.
+	u := logic.Union(f, p)
+	if !Contained(p, u) {
+		t.Error("p must be contained in false ∨ p")
+	}
+}

@@ -1,0 +1,180 @@
+package containment
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// A containment mapping from Q to P (witnessing P ⊑ Q for positive
+// queries) is a substitution σ on the variables of Q such that σ maps the
+// head of Q onto the head of P and every positive literal R(ȳ) of Q onto
+// a positive literal R(σȳ) of P. Wei–Lausen containment additionally
+// needs σ to be total on all variables of Q, including variables that
+// occur only in negative literals; those range over the terms of P.
+
+// mappingSearch enumerates containment mappings from q's positive part
+// into p's positive part, extended to be total on totalVars (variables of
+// q not determined by the positive match range over p's terms). It calls
+// yield for each mapping found and stops early when yield returns true.
+// The overall return value is true iff some yield returned true.
+type mappingSearch struct {
+	pPos   []logic.Literal // positive literals of P (match targets)
+	pTerms []logic.Term    // candidate values for unconstrained variables
+	yield  func(logic.Subst) bool
+}
+
+// findMapping reports whether some containment mapping σ from q into p
+// exists for which yield returns true. The heads are aligned positionally:
+// q's head argument j must map to p's head argument j.
+func findMapping(p, q logic.CQ, yield func(logic.Subst) bool) bool {
+	// Align heads: σ is the identity on free variables in the paper's
+	// setting (same head variable tuple); positional unification
+	// generalizes this to heads with constants.
+	sigma, ok := headAlignment(p, q)
+	if !ok {
+		return false
+	}
+
+	qPos := q.Positive()
+	// Candidate target literals per source literal, by predicate and arity.
+	cands := make([][]logic.Literal, len(qPos))
+	pPos := p.Positive()
+	for i, ql := range qPos {
+		for _, pl := range pPos {
+			if pl.Atom.Pred == ql.Atom.Pred && pl.Atom.Arity() == ql.Atom.Arity() {
+				cands[i] = append(cands[i], pl)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+	// Most-constrained-first: match literals with few candidates early.
+	order := make([]int, len(qPos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(cands[order[a]]) < len(cands[order[b]])
+	})
+
+	ms := &mappingSearch{pPos: pPos, pTerms: termsOf(p), yield: yield}
+	extra := unconstrainedVars(q, qPos)
+	return ms.match(sigma, qPos, cands, order, 0, extra)
+}
+
+// match extends sigma literal by literal, then enumerates values for the
+// remaining unconstrained variables.
+func (ms *mappingSearch) match(sigma logic.Subst, qPos []logic.Literal, cands [][]logic.Literal, order []int, k int, extra []string) bool {
+	if k == len(order) {
+		return ms.assignExtra(sigma, extra, 0)
+	}
+	i := order[k]
+	ql := qPos[i]
+	for _, pl := range cands[i] {
+		next, ok := extend(sigma, ql.Atom, pl.Atom)
+		if !ok {
+			continue
+		}
+		if ms.match(next, qPos, cands, order, k+1, extra) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignExtra enumerates assignments of p's terms to variables of q that
+// the positive match left unbound (they occur only in negative literals).
+func (ms *mappingSearch) assignExtra(sigma logic.Subst, extra []string, k int) bool {
+	for k < len(extra) {
+		if _, ok := sigma[extra[k]]; ok {
+			k++
+			continue
+		}
+		break
+	}
+	if k == len(extra) {
+		return ms.yield(sigma)
+	}
+	for _, t := range ms.pTerms {
+		if ms.assignExtra(sigma.Bind(extra[k], t), extra, k+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// extend unifies source atom qa with target atom pa under sigma,
+// returning the extended substitution. Constants and null must match
+// exactly; variables of q bind to the corresponding term of p.
+func extend(sigma logic.Subst, qa, pa logic.Atom) (logic.Subst, bool) {
+	next := sigma
+	copied := false
+	for j, qt := range qa.Args {
+		pt := pa.Args[j]
+		if qt.IsVar() {
+			if bound, ok := next[qt.Name]; ok {
+				if bound != pt {
+					return nil, false
+				}
+				continue
+			}
+			if !copied {
+				next = next.Clone()
+				copied = true
+			}
+			next[qt.Name] = pt
+			continue
+		}
+		if qt != pt {
+			return nil, false
+		}
+	}
+	return next, true
+}
+
+// termsOf returns the distinct terms (variables and constants) occurring
+// in p's head and body, in first-occurrence order.
+func termsOf(p logic.CQ) []logic.Term {
+	var out []logic.Term
+	seen := map[logic.Term]bool{}
+	add := func(ts []logic.Term) {
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	add(p.HeadArgs)
+	for _, l := range p.Body {
+		add(l.Atom.Args)
+	}
+	return out
+}
+
+// unconstrainedVars lists variables of q that do not occur in its head or
+// positive part, in deterministic order. These occur only in negative
+// literals (the paper's Example 3 has such variables); a total containment
+// mapping must still assign them.
+func unconstrainedVars(q logic.CQ, qPos []logic.Literal) []string {
+	bound := map[string]bool{}
+	for _, t := range q.HeadArgs {
+		if t.IsVar() {
+			bound[t.Name] = true
+		}
+	}
+	for _, l := range qPos {
+		for _, v := range l.Vars() {
+			bound[v.Name] = true
+		}
+	}
+	var out []string
+	for _, v := range q.Vars() {
+		if !bound[v.Name] {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}

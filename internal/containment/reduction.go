@@ -1,0 +1,167 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+)
+
+// ReduceContToFeasible implements the reduction of Theorem 18 of the
+// paper (CONT(UCQ¬) ≤ₘᴾ FEASIBLE(UCQ¬)): given P = P₁ ∨ … ∨ Pₖ and Q
+// over the same head, it builds
+//
+//	P' := P₁ ∧ B(y)  ∨ … ∨  Pₖ ∧ B(y)      (B fresh, pattern B^i)
+//	Q' := P' ∨ Q
+//
+// with every relation of P and Q given an all-output pattern. Then
+// P ⊑ Q iff Q' is feasible. The fresh variable y makes every P' rule
+// unanswerable in its B literal, so ans(Q') ≡ P ∨ Q; feasibility of Q'
+// is exactly the containment P ∨ Q ⊑ P' ∨ Q, which holds iff P ⊑ Q.
+func ReduceContToFeasible(p, q logic.UCQ) (logic.UCQ, *access.Set, error) {
+	if len(p.Rules) == 0 || len(q.Rules) == 0 {
+		return logic.UCQ{}, nil, fmt.Errorf("containment: reduction needs nonempty queries")
+	}
+	if p.HeadPred() != q.HeadPred() || p.HeadArity() != q.HeadArity() {
+		return logic.UCQ{}, nil, fmt.Errorf("containment: reduction needs a common head, got %s/%d and %s/%d",
+			p.HeadPred(), p.HeadArity(), q.HeadPred(), q.HeadArity())
+	}
+	rels := p.Relations()
+	for name, ar := range q.Relations() {
+		if prev, ok := rels[name]; ok && prev != ar {
+			return logic.UCQ{}, nil, fmt.Errorf("containment: relation %s used with arities %d and %d", name, prev, ar)
+		}
+		rels[name] = ar
+	}
+	const bName = "B__fresh"
+	if _, clash := rels[bName]; clash {
+		return logic.UCQ{}, nil, fmt.Errorf("containment: relation name %s already in use", bName)
+	}
+	// Fresh variable name not used anywhere.
+	yName := "y__fresh"
+	ps := access.NewSet()
+	for name, ar := range rels {
+		if err := ps.Add(name, access.AllOutputPattern(ar)); err != nil {
+			return logic.UCQ{}, nil, err
+		}
+	}
+	if err := ps.Add(bName, "i"); err != nil {
+		return logic.UCQ{}, nil, err
+	}
+
+	var rules []logic.CQ
+	for _, r := range p.Rules {
+		ext := r.Clone()
+		ext.Body = append(ext.Body, logic.Pos(logic.NewAtom(bName, logic.Var(yName))))
+		rules = append(rules, ext)
+	}
+	for _, r := range q.Rules {
+		rules = append(rules, r.Clone())
+	}
+	return logic.UCQ{Rules: rules}, ps, nil
+}
+
+// ReduceContCQToFeasible implements the reduction of Proposition 20
+// (CONT(CQ¬) ≤ₘᴾ FEASIBLE(CQ¬)): given CQ¬ queries P(x̄) and Q(x̄), it
+// builds the single rule
+//
+//	L(x̄) :- T(u), R̂'₁(u, x̄₁), …, R̂'ₖ(u, x̄ₖ), Ŝ'₁(v, ȳ₁), …, Ŝ'ₗ(v, ȳₗ)
+//
+// where each relation R of arity n becomes R' of arity n+1, P's literals
+// are tagged with the fresh variable u and Q's with the fresh variable v,
+// and the access patterns are T^o and R'^io…o. Then ans(L) is the T/u/P
+// part (v can never be bound), and P ⊑ Q iff L is feasible.
+func ReduceContCQToFeasible(p, q logic.CQ) (logic.CQ, *access.Set, error) {
+	if p.HeadPred != q.HeadPred || len(p.HeadArgs) != len(q.HeadArgs) {
+		return logic.CQ{}, nil, fmt.Errorf("containment: reduction needs a common head")
+	}
+	if p.False || q.False {
+		return logic.CQ{}, nil, fmt.Errorf("containment: reduction needs non-false queries")
+	}
+	// Edge case the paper's Proposition 20 glosses over: if Q is
+	// unsatisfiable (it contains a complementary literal pair), the
+	// constructed L would also be unsatisfiable — hence trivially
+	// feasible — even though P ⊑ Q holds only for unsatisfiable P. The
+	// satisfiability checks are quadratic, so dispatching to a fixed
+	// feasible/infeasible instance keeps the reduction polynomial and
+	// many-one.
+	if !Satisfiable(q) {
+		if !Satisfiable(p) {
+			// P ⊑ Q holds; emit a trivially feasible instance.
+			out := logic.CQ{HeadPred: "L", Body: []logic.Literal{logic.Pos(logic.NewAtom("T__fresh", logic.Var("u__fresh")))}}
+			ps := access.NewSet()
+			_ = ps.Add("T__fresh", "o")
+			return out, ps, nil
+		}
+		// P ⋢ Q; emit a trivially infeasible instance (the essential
+		// B literal can never be called).
+		out := logic.CQ{HeadPred: "L", Body: []logic.Literal{
+			logic.Pos(logic.NewAtom("T__fresh", logic.Var("u__fresh"))),
+			logic.Pos(logic.NewAtom("B__fresh", logic.Var("y__fresh"))),
+		}}
+		ps := access.NewSet()
+		_ = ps.Add("T__fresh", "o")
+		_ = ps.Add("B__fresh", "i")
+		return out, ps, nil
+	}
+	const tName = "T__fresh"
+	uVar, vVar := logic.Var("u__fresh"), logic.Var("v__fresh")
+
+	// P's and Q's existential variables are quantified separately in L,
+	// so Q's must be renamed apart from P's. Head variables are shared
+	// (they are never existential in P, so they are not in taken).
+	taken := map[string]bool{}
+	headVar := map[string]bool{}
+	for _, t := range p.HeadArgs {
+		if t.IsVar() {
+			headVar[t.Name] = true
+		}
+	}
+	for _, v := range p.Vars() {
+		if !headVar[v.Name] {
+			taken[v.Name] = true
+		}
+	}
+	q, _ = logic.RenameApart(q, taken)
+
+	ps := access.NewSet()
+	if err := ps.Add(tName, "o"); err != nil {
+		return logic.CQ{}, nil, err
+	}
+	tag := func(l logic.Literal, tagVar logic.Term) (logic.Literal, error) {
+		args := append([]logic.Term{tagVar}, l.Atom.Args...)
+		name := l.Atom.Pred + "__p"
+		pat := access.Pattern("i" + string(access.AllOutputPattern(len(l.Atom.Args))))
+		if err := ps.Add(name, pat); err != nil {
+			return logic.Literal{}, err
+		}
+		return logic.Literal{Atom: logic.NewAtom(name, args...), Negated: l.Negated}, nil
+	}
+
+	out := logic.CQ{HeadPred: "L", HeadArgs: append([]logic.Term(nil), p.HeadArgs...)}
+	out.Body = append(out.Body, logic.Pos(logic.NewAtom(tName, uVar)))
+	for _, l := range p.Body {
+		tl, err := tag(l, uVar)
+		if err != nil {
+			return logic.CQ{}, nil, err
+		}
+		out.Body = append(out.Body, tl)
+	}
+	for _, l := range q.Body {
+		tl, err := tag(l, vVar)
+		if err != nil {
+			return logic.CQ{}, nil, err
+		}
+		out.Body = append(out.Body, tl)
+	}
+	return out, ps, nil
+}
+
+// FeasibilityAsContainment expresses feasibility as a containment
+// instance (Corollary 17, the easy direction of Theorem 18): Q is
+// feasible iff ans(Q) ⊑ Q. It returns the pair (ans(Q), Q) to feed a
+// containment checker; ans must be supplied by the caller (core computes
+// it) to keep this package free of a dependency on core.
+func FeasibilityAsContainment(ans, q logic.UCQ) (logic.UCQ, logic.UCQ) {
+	return ans.Clone(), q.Clone()
+}

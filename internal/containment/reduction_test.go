@@ -1,0 +1,158 @@
+package containment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestReduceContToFeasibleShape(t *testing.T) {
+	p := ucq(t, "Q(x) :- R(x), S(x).\nQ(x) :- T(x).")
+	q := ucq(t, `Q(x) :- R(x).`)
+	red, ps, err := ReduceContToFeasible(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |P| rules with the fresh B literal + |Q| rules untouched.
+	if len(red.Rules) != 3 {
+		t.Fatalf("reduced = %s", red)
+	}
+	for i := 0; i < 2; i++ {
+		last := red.Rules[i].Body[len(red.Rules[i].Body)-1]
+		if last.Atom.Pred != "B__fresh" || last.Negated {
+			t.Errorf("P-rule %d missing fresh B literal: %s", i, red.Rules[i])
+		}
+	}
+	if !red.Rules[2].Equal(q.Rules[0]) {
+		t.Errorf("Q-rule changed: %s", red.Rules[2])
+	}
+	// Patterns: everything all-output except B^i.
+	if got := ps.Patterns("B__fresh"); len(got) != 1 || got[0] != "i" {
+		t.Errorf("B pattern = %v", got)
+	}
+	for _, rel := range []string{"R", "S", "T"} {
+		if got := ps.Patterns(rel); len(got) != 1 || !got[0].AllOutput() {
+			t.Errorf("%s patterns = %v", rel, got)
+		}
+	}
+}
+
+func TestReduceContToFeasibleErrors(t *testing.T) {
+	q := ucq(t, `Q(x) :- R(x).`)
+	if _, _, err := ReduceContToFeasible(logic.UCQ{}, q); err == nil {
+		t.Error("empty P must be rejected")
+	}
+	q2 := ucq(t, `P(x, y) :- R(x, y).`)
+	if _, _, err := ReduceContToFeasible(q, q2); err == nil {
+		t.Error("head mismatch must be rejected")
+	}
+	// Conflicting arities for the same relation name.
+	p3 := ucq(t, `Q(x) :- R(x).`)
+	q3 := ucq(t, `Q(x) :- R(x, y).`)
+	if _, _, err := ReduceContToFeasible(p3, q3); err == nil {
+		t.Error("conflicting relation arities must be rejected")
+	}
+}
+
+func TestReduceContCQShape(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x, y), not S(y).`)
+	q := cq(t, `Q(x) :- R(x, z).`)
+	l, ps, err := ReduceContCQToFeasible(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.String()
+	for _, want := range []string{"T__fresh(u__fresh)", "R__p(u__fresh, x, y)", "not S__p(u__fresh, y)", "R__p(v__fresh,"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("L missing %q: %s", want, s)
+		}
+	}
+	if got := ps.Patterns("T__fresh"); len(got) != 1 || got[0] != "o" {
+		t.Errorf("T pattern = %v", got)
+	}
+	if got := ps.Patterns("R__p"); len(got) != 1 || got[0] != "ioo" {
+		t.Errorf("R' pattern = %v", got)
+	}
+}
+
+func TestReduceContCQRenamesApart(t *testing.T) {
+	// Both queries use existential y; they must not be conflated in L.
+	p := cq(t, `Q(x) :- R(x, y).`)
+	q := cq(t, `Q(x) :- S(x, y).`)
+	l, _, err := ReduceContCQToFeasible(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct occurrences: R__p(u, x, y) and S__p(v, x, y_1).
+	s := l.String()
+	if strings.Contains(s, "S__p(v__fresh, x, y)") {
+		t.Errorf("Q's existential variable was captured: %s", s)
+	}
+}
+
+func TestReduceContCQUnsatEdgeCases(t *testing.T) {
+	sat := cq(t, `Q(x) :- R(x).`)
+	unsatQ := cq(t, `Q(x) :- R(x), S(x), not S(x).`)
+	unsatP := cq(t, `Q(x) :- R(x), not R(x).`)
+
+	// Q unsat, P sat: must yield an infeasible instance.
+	l, ps, err := ReduceContCQToFeasible(sat, unsatQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Body) != 2 {
+		t.Errorf("infeasible dispatch instance = %s", l)
+	}
+	_ = ps
+	// Both unsat: trivially feasible instance.
+	l2, _, err := ReduceContCQToFeasible(unsatP, unsatQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Body) != 1 {
+		t.Errorf("feasible dispatch instance = %s", l2)
+	}
+}
+
+func TestReduceContCQErrors(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	if _, _, err := ReduceContCQToFeasible(p, cq(t, `P(x) :- R(x).`)); err == nil {
+		t.Error("head mismatch must be rejected")
+	}
+	if _, _, err := ReduceContCQToFeasible(logic.FalseQuery("Q", []logic.Term{logic.Var("x")}), p); err == nil {
+		t.Error("false query must be rejected")
+	}
+}
+
+func TestContainsLimited(t *testing.T) {
+	q := ucq(t, `
+		Q(x) :- R(x), not S1(x), not S2(x), not S3(x).
+		Q(x) :- R(x), S1(x).
+		Q(x) :- R(x), S2(x).
+		Q(x) :- R(x), S3(x).
+	`)
+	p := cq(t, `Q(x) :- R(x).`)
+	c := NewChecker(q)
+	if _, err := c.ContainsLimited(p, 2); err != ErrBudget {
+		t.Errorf("tiny budget must return ErrBudget, got %v", err)
+	}
+	c2 := NewChecker(q)
+	got, err := c2.ContainsLimited(p, 1_000_000)
+	if err != nil || !got {
+		t.Errorf("big budget must decide true, got %v %v", got, err)
+	}
+	// After a budget abort the checker remains usable.
+	if !c.Contains(p) {
+		t.Error("checker must recover after budget exhaustion")
+	}
+}
+
+func TestFeasibilityAsContainment(t *testing.T) {
+	a := ucq(t, `Q(x) :- R(x).`)
+	q := ucq(t, `Q(x) :- R(x), S(x).`)
+	p1, p2 := FeasibilityAsContainment(a, q)
+	if !p1.Equal(a) || !p2.Equal(q) {
+		t.Error("FeasibilityAsContainment must return clones of its inputs")
+	}
+}

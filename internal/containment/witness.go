@@ -1,0 +1,171 @@
+package containment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Witness is a checkable certificate for P ⊑ Q: either P is
+// unsatisfiable, or a containment mapping σ into some disjunct Qᵢ
+// together with one child witness per negative literal of Qᵢ (for
+// P ∧ R(σȳ) ⊑ Q), exactly the tree of Theorem 13. Witnesses make the
+// Π₂ᴾ decision auditable: Verify re-checks one in polynomial time
+// (relative to the witness size).
+type Witness struct {
+	// Unsat is set when P itself is unsatisfiable (base case).
+	Unsat bool
+	// Disjunct is the index of the disjunct of Q that σ maps into.
+	Disjunct int
+	// Mapping is the containment mapping σ: vars(Qᵢ) → terms(P).
+	Mapping logic.Subst
+	// Children holds one entry per negative literal of Qᵢ, in order.
+	Children []ChildWitness
+}
+
+// ChildWitness justifies one negative literal of the chosen disjunct.
+type ChildWitness struct {
+	// Negative is the literal ¬R(ȳ) of Qᵢ.
+	Negative logic.Literal
+	// Added is R(σȳ), the atom conjoined to P.
+	Added logic.Atom
+	// Sub is the witness for P ∧ R(σȳ) ⊑ Q.
+	Sub *Witness
+}
+
+// String renders the witness tree.
+func (w *Witness) String() string {
+	var b strings.Builder
+	w.render(&b, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (w *Witness) render(b *strings.Builder, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if w.Unsat {
+		fmt.Fprintf(b, "%sunsatisfiable (trivially contained)\n", pad)
+		return
+	}
+	fmt.Fprintf(b, "%svia disjunct %d with σ = %s\n", pad, w.Disjunct+1, w.Mapping)
+	for _, c := range w.Children {
+		fmt.Fprintf(b, "%s  %s: conjoin %s\n", pad, c.Negative, c.Added)
+		c.Sub.render(b, depth+2)
+	}
+}
+
+// Explain returns a witness for p ⊑ q (the checker's query), or nil and
+// false when the containment does not hold. It mirrors Contains but
+// records the successful branch; its memo only caches failures, since
+// successes must be rebuilt per branch to capture their subtrees.
+func (c *Checker) Explain(p logic.CQ) (*Witness, bool) {
+	c.Nodes++
+	if !Satisfiable(p) {
+		return &Witness{Unsat: true}, true
+	}
+	key := canonKey(p)
+	if v, ok := c.memo[key]; ok && !v {
+		c.MemoHits++
+		return nil, false
+	}
+	for i, qi := range c.q.Rules {
+		if qi.False || !Satisfiable(qi) {
+			continue
+		}
+		if w, ok := c.explainDisjunct(p, qi, i); ok {
+			c.memo[key] = true
+			return w, true
+		}
+	}
+	c.memo[key] = false
+	return nil, false
+}
+
+func (c *Checker) explainDisjunct(p, qi logic.CQ, index int) (*Witness, bool) {
+	var found *Witness
+	findMapping(p, qi, func(sigma logic.Subst) bool {
+		negs := qi.Negative()
+		w := &Witness{Disjunct: index, Mapping: sigma.Clone()}
+		for _, nl := range negs {
+			ra := sigma.Atom(nl.Atom)
+			if p.HasAtom(ra, false) {
+				return false
+			}
+			ext := p.Clone()
+			ext.Body = append(ext.Body, logic.Pos(ra))
+			sub, ok := c.Explain(ext)
+			if !ok {
+				return false
+			}
+			w.Children = append(w.Children, ChildWitness{Negative: nl.Clone(), Added: ra, Sub: sub})
+		}
+		found = w
+		return true
+	})
+	return found, found != nil
+}
+
+// Verify checks a witness against p and the checker's query q,
+// re-validating every mapping and every unsatisfiability claim. It
+// returns an error describing the first defect found.
+func (c *Checker) Verify(p logic.CQ, w *Witness) error {
+	if w == nil {
+		return fmt.Errorf("containment: nil witness")
+	}
+	if w.Unsat {
+		if Satisfiable(p) {
+			return fmt.Errorf("containment: witness claims %s unsatisfiable, but it is satisfiable", p)
+		}
+		return nil
+	}
+	if w.Disjunct < 0 || w.Disjunct >= len(c.q.Rules) {
+		return fmt.Errorf("containment: witness names disjunct %d of %d", w.Disjunct+1, len(c.q.Rules))
+	}
+	qi := c.q.Rules[w.Disjunct]
+	if err := checkMapping(p, qi, w.Mapping); err != nil {
+		return err
+	}
+	negs := qi.Negative()
+	if len(negs) != len(w.Children) {
+		return fmt.Errorf("containment: witness has %d children for %d negative literals", len(w.Children), len(negs))
+	}
+	for i, nl := range negs {
+		cw := w.Children[i]
+		if !cw.Negative.Equal(nl) {
+			return fmt.Errorf("containment: child %d is for %s, want %s", i+1, cw.Negative, nl)
+		}
+		want := w.Mapping.Atom(nl.Atom)
+		if !cw.Added.Equal(want) {
+			return fmt.Errorf("containment: child %d conjoins %s, want %s", i+1, cw.Added, want)
+		}
+		if p.HasAtom(cw.Added, false) {
+			return fmt.Errorf("containment: %s already occurs positively in P; σ is invalid", cw.Added)
+		}
+		ext := p.Clone()
+		ext.Body = append(ext.Body, logic.Pos(cw.Added))
+		if err := c.Verify(ext, cw.Sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkMapping validates that sigma is a containment mapping from qi's
+// positive part into p's positive part with aligned heads.
+func checkMapping(p, qi logic.CQ, sigma logic.Subst) error {
+	if p.HeadPred != qi.HeadPred || len(p.HeadArgs) != len(qi.HeadArgs) {
+		return fmt.Errorf("containment: heads %s/%d and %s/%d differ", p.HeadPred, len(p.HeadArgs), qi.HeadPred, len(qi.HeadArgs))
+	}
+	for j, qa := range qi.HeadArgs {
+		if sigma.Term(qa) != p.HeadArgs[j] {
+			return fmt.Errorf("containment: σ maps head argument %d to %s, want %s", j+1, sigma.Term(qa), p.HeadArgs[j])
+		}
+	}
+	for _, l := range qi.Positive() {
+		img := sigma.Atom(l.Atom)
+		if !p.HasAtom(img, false) {
+			return fmt.Errorf("containment: σ image %s of %s is not a positive literal of P", img, l.Atom)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package containment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/workload"
+)
+
+func TestExplainSimpleCQ(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x, x).`)
+	q := logic.AsUnion(cq(t, `Q(x) :- R(x, y).`))
+	c := NewChecker(q)
+	w, ok := c.Explain(p)
+	if !ok {
+		t.Fatal("containment expected")
+	}
+	if w.Disjunct != 0 || len(w.Children) != 0 {
+		t.Errorf("witness = %+v", w)
+	}
+	if err := NewChecker(q).Verify(p, w); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// The mapping must send y to x.
+	if got := w.Mapping.Term(logic.Var("y")); got != logic.Var("x") {
+		t.Errorf("σ(y) = %v", got)
+	}
+}
+
+func TestExplainNegativeRecursion(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	q := ucq(t, `
+		Q(x) :- R(x), not S(x).
+		Q(x) :- R(x), S(x).
+	`)
+	c := NewChecker(q)
+	w, ok := c.Explain(p)
+	if !ok {
+		t.Fatal("containment expected")
+	}
+	if len(w.Children) != 1 {
+		t.Fatalf("witness children = %d", len(w.Children))
+	}
+	sub := w.Children[0].Sub
+	if sub == nil || sub.Unsat {
+		t.Fatalf("child witness = %+v", sub)
+	}
+	if err := NewChecker(q).Verify(p, w); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	s := w.String()
+	for _, want := range []string{"via disjunct", "conjoin"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("witness rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainUnsat(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x), not R(x).`)
+	q := logic.AsUnion(cq(t, `Q(x) :- S(x).`))
+	c := NewChecker(q)
+	w, ok := c.Explain(p)
+	if !ok || !w.Unsat {
+		t.Fatalf("want unsat witness, got %+v %v", w, ok)
+	}
+	if err := c.Verify(p, w); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestExplainNotContained(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	q := logic.AsUnion(cq(t, `Q(x) :- R(x), not S(x).`))
+	c := NewChecker(q)
+	if _, ok := c.Explain(p); ok {
+		t.Error("containment must fail")
+	}
+}
+
+func TestVerifyRejectsBogusWitness(t *testing.T) {
+	p := cq(t, `Q(x) :- R(x).`)
+	q := logic.AsUnion(cq(t, `Q(x) :- S(x).`))
+	c := NewChecker(q)
+	bogus := &Witness{Disjunct: 0, Mapping: logic.Subst{"x": logic.Var("x")}}
+	if err := c.Verify(p, bogus); err == nil {
+		t.Error("bogus mapping must be rejected")
+	}
+	if err := c.Verify(p, &Witness{Unsat: true}); err == nil {
+		t.Error("false unsat claim must be rejected")
+	}
+	if err := c.Verify(p, &Witness{Disjunct: 7}); err == nil {
+		t.Error("out-of-range disjunct must be rejected")
+	}
+	if err := c.Verify(p, nil); err == nil {
+		t.Error("nil witness must be rejected")
+	}
+}
+
+// Explain agrees with Contains, and every produced witness verifies, on
+// random queries.
+func TestExplainAgreesAndVerifies(t *testing.T) {
+	g := workload.New(55)
+	s := g.Schema(3, 1, 2)
+	cfg := workload.QueryConfig{PosLits: 3, NegLits: 1, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 4}
+	for i := 0; i < 150; i++ {
+		p := g.CQ(s, cfg)
+		q := g.UCQ(s, 2, cfg)
+		want := NewChecker(q).Contains(p)
+		c := NewChecker(q)
+		w, got := c.Explain(p)
+		if got != want {
+			t.Fatalf("Explain (%v) disagrees with Contains (%v) on\nP=%s\nQ=%s", got, want, p, q)
+		}
+		if got {
+			if err := NewChecker(q).Verify(p, w); err != nil {
+				t.Fatalf("witness fails verification: %v\nP=%s\nQ=%s\n%s", err, p, q, w)
+			}
+		}
+	}
+}

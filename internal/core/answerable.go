@@ -1,0 +1,160 @@
+// Package core implements the paper's primary contribution: the four
+// algorithms of Nash & Ludäscher (EDBT 2004) for processing unions of
+// conjunctive queries with negation under limited access patterns —
+// ANSWERABLE (Figure 1), PLAN* (Figure 2), FEASIBLE (Figure 3), and the
+// compile-time side of ANSWER* (Figure 4; its runtime side lives in
+// internal/engine, which evaluates the plans produced here).
+package core
+
+import (
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+// AnswerablePart computes ans(Q) for a CQ¬ query (Definition 7 and
+// Figure 1 of the paper): the literals of Q that are Q-answerable, in the
+// order the ANSWERABLE algorithm adds them. If Q is unsatisfiable the
+// result is the query false. The head of Q is preserved; the result may
+// be unsafe (a head variable may not occur in it), which PLAN* later
+// turns into a null binding.
+//
+// The algorithm keeps a set B of bound variables and an executable
+// sub-plan A, and repeatedly scans the body: a literal is added when all
+// its variables are bound, or when it is positive and some access pattern
+// has all its input-slot variables bound (constants are always bound).
+// It runs in O(k²) literal scans for a body of k literals.
+func AnswerablePart(q logic.CQ, ps *access.Set) logic.CQ {
+	if !containment.Satisfiable(q) {
+		return logic.FalseQuery(q.HeadPred, q.HeadArgs)
+	}
+	return answerableLiterals(q, ps)
+}
+
+// answerableLiterals runs the loop of Figure 1 without the
+// unsatisfiability short-circuit, returning the query of Q-answerable
+// literals in adoption order. Orderable needs this raw form because
+// orderability (Definition 4) is purely syntactic.
+func answerableLiterals(q logic.CQ, ps *access.Set) logic.CQ {
+	out := logic.CQ{HeadPred: q.HeadPred, HeadArgs: cloneTerms(q.HeadArgs)}
+	inA := make([]bool, len(q.Body))
+	bound := map[string]bool{}
+	for {
+		done := true
+		for i, l := range q.Body {
+			if inA[i] {
+				continue
+			}
+			if answerableNow(l, ps, bound) {
+				inA[i] = true
+				out.Body = append(out.Body, l.Clone())
+				for _, v := range l.Vars() {
+					bound[v.Name] = true
+				}
+				done = false
+			}
+		}
+		if done {
+			return out
+		}
+	}
+}
+
+// answerableNow reports whether literal l can be executed given the bound
+// variables: all variables bound (any literal, provided the source is
+// callable at all), or positive with some pattern whose input slots are
+// covered.
+func answerableNow(l logic.Literal, ps *access.Set, bound map[string]bool) bool {
+	if !l.Negated {
+		_, ok := ps.Callable(l.Atom, bound)
+		return ok
+	}
+	for _, v := range l.Vars() {
+		if !bound[v.Name] {
+			return false
+		}
+	}
+	// A negated filter still needs a callable source of the right arity.
+	for _, p := range ps.Patterns(l.Atom.Pred) {
+		if p.Arity() == l.Atom.Arity() {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneTerms(ts []logic.Term) []logic.Term {
+	out := make([]logic.Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// AnswerableUCQ computes ans(Q) rule-wise for a UCQ¬ query
+// (Definition 7: ans(Q₁ ∨ … ∨ Qₖ) = ans(Q₁) ∨ … ∨ ans(Qₖ)).
+func AnswerableUCQ(u logic.UCQ, ps *access.Set) logic.UCQ {
+	rules := make([]logic.CQ, len(u.Rules))
+	for i, r := range u.Rules {
+		rules[i] = AnswerablePart(r, ps)
+	}
+	return logic.UCQ{Rules: rules}
+}
+
+// Orderable reports whether a CQ¬ query is orderable (Definition 4): some
+// permutation of its literals is executable. By Proposition 1 this holds
+// iff every literal of Q is Q-answerable; by Proposition 2 / Corollary 3
+// the check is quadratic time. The check is purely syntactic, so it does
+// not special-case unsatisfiable bodies.
+func Orderable(q logic.CQ, ps *access.Set) bool {
+	if q.False {
+		return true // false is vacuously executable
+	}
+	if len(q.Body) == 0 {
+		return false // true is not executable in any order
+	}
+	a := answerableLiterals(q, ps)
+	return len(a.Body) == len(q.Body)
+}
+
+// OrderableUCQ reports whether every rule of u is orderable.
+func OrderableUCQ(u logic.UCQ, ps *access.Set) bool {
+	for _, r := range u.Rules {
+		if !Orderable(r, ps) {
+			return false
+		}
+	}
+	return true
+}
+
+// Executable reports whether the query is executable as written
+// (Definition 3): its literal order admits adornments left to right.
+func Executable(u logic.UCQ, ps *access.Set) bool {
+	return access.ExecutableUCQ(u, ps)
+}
+
+// Reorder returns an executable reordering of q (the order chosen by
+// ANSWERABLE) if q is orderable, or q unchanged and false otherwise.
+func Reorder(q logic.CQ, ps *access.Set) (logic.CQ, bool) {
+	if q.False {
+		return q.Clone(), true
+	}
+	if !containment.Satisfiable(q) {
+		return logic.FalseQuery(q.HeadPred, q.HeadArgs), true
+	}
+	a := AnswerablePart(q, ps)
+	if len(a.Body) != len(q.Body) {
+		return q.Clone(), false
+	}
+	return a, true
+}
+
+// ReorderUCQ reorders every rule, reporting whether all are orderable.
+func ReorderUCQ(u logic.UCQ, ps *access.Set) (logic.UCQ, bool) {
+	rules := make([]logic.CQ, len(u.Rules))
+	ok := true
+	for i, r := range u.Rules {
+		var ri bool
+		rules[i], ri = Reorder(r, ps)
+		ok = ok && ri
+	}
+	return logic.UCQ{Rules: rules}, ok
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func cq(t *testing.T, src string) logic.CQ {
+	t.Helper()
+	q, err := parser.ParseCQ(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func ucq(t *testing.T, src string) logic.UCQ {
+	t.Helper()
+	u, err := parser.ParseUCQ(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return u
+}
+
+func pats(t *testing.T, src string) *access.Set {
+	t.Helper()
+	s, err := parser.ParsePatterns(src)
+	if err != nil {
+		t.Fatalf("parse patterns %q: %v", src, err)
+	}
+	return s
+}
+
+// Example 1 of the paper: the query is not executable as written but is
+// orderable (call C first), hence feasible by the cheap certificate.
+func TestExample1(t *testing.T) {
+	q := cq(t, `Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`)
+	ps := pats(t, `B^ioo B^oio C^oo L^o`)
+
+	if Executable(logic.AsUnion(q), ps) {
+		t.Error("Example 1 must not be executable as written")
+	}
+	if !Orderable(q, ps) {
+		t.Error("Example 1 must be orderable")
+	}
+	a := AnswerablePart(q, ps)
+	// Figure 1 scans the body in order within each round, so after C(i, a)
+	// binds i and a, the same pass already picks up not L(i), and B is
+	// added in the next round.
+	if got, want := a.String(), "Q(i, a, t) :- C(i, a), not L(i), B(i, a, t)"; got != want {
+		t.Errorf("ans(Q) = %q, want %q", got, want)
+	}
+	r, ok := Reorder(q, ps)
+	if !ok || !access.ExecutableCQ(r, ps) {
+		t.Errorf("Reorder failed: %v %v", r, ok)
+	}
+	res := FeasibleCQ(q, ps)
+	if !res.Feasible || res.Verdict != VerdictUnderEqualsOver {
+		t.Errorf("FEASIBLE = %v, want feasible by fast path", res)
+	}
+}
+
+// Example 3 of the paper: feasible but not orderable.
+func TestExample3(t *testing.T) {
+	u := ucq(t, `
+		Q(a) :- B(i, a, t), L(i), B(i', a', t).
+		Q(a) :- B(i, a, t), L(i), not B(i', a', t).
+	`)
+	ps := pats(t, `B^ioo B^oio L^o`)
+
+	if OrderableUCQ(u, ps) {
+		t.Error("Example 3 must not be orderable (i' and a' cannot be bound)")
+	}
+	res := Feasible(u, ps)
+	if !res.Feasible {
+		t.Errorf("Example 3 must be feasible: %v", res)
+	}
+	if res.Verdict != VerdictContainment {
+		t.Errorf("Example 3 needs the containment check, got %v", res.Verdict)
+	}
+	// The equivalent executable query the paper gives.
+	qp := ucq(t, `Q(a) :- L(i), B(i, a, t).`)
+	if !containment.Equivalent(res.Plans.Over, qp) {
+		t.Error("overestimate must be equivalent to Q'(a) :- L(i), B(i, a, t)")
+	}
+}
+
+// Example 4 of the paper: underestimate and overestimate plans, with a
+// null binding in the overestimate; the query is infeasible.
+func TestExample4(t *testing.T) {
+	u := ucq(t, `
+		Q(x, y) :- not S(z), R(x, z), B(x, y).
+		Q(x, y) :- T(x, y).
+	`)
+	ps := pats(t, `S^o R^oo B^oi T^oo`)
+
+	plans := ComputePlans(u, ps)
+	// Rule 1: answerable part is R(x,z), ¬S(z); B(x,y) is unanswerable.
+	ra := plans.Rules[0]
+	if got, want := ra.Ans.String(), "Q(x, y) :- R(x, z), not S(z)"; got != want {
+		t.Errorf("ans(Q1) = %q, want %q", got, want)
+	}
+	if len(ra.Unanswerable) != 1 || ra.Unanswerable[0].Atom.Pred != "B" {
+		t.Errorf("U1 = %v, want [B(x, y)]", ra.Unanswerable)
+	}
+	if !ra.Under.False {
+		t.Errorf("Q1^u must be false, got %s", ra.Under)
+	}
+	if got, want := ra.Over.String(), "Q(x, null) :- R(x, z), not S(z)"; got != want {
+		t.Errorf("Q1^o = %q, want %q", got, want)
+	}
+	// Rule 2 is fully answerable.
+	rb := plans.Rules[1]
+	if !rb.Complete() || !rb.Under.Equal(rb.Over) {
+		t.Errorf("rule 2 must be complete: %+v", rb)
+	}
+	// Assembled plans: Q^u has one rule (T), Q^o has two.
+	if len(plans.Under.Rules) != 1 || plans.Under.Rules[0].Body[0].Atom.Pred != "T" {
+		t.Errorf("Q^u = %s", plans.Under)
+	}
+	if len(plans.Over.Rules) != 2 {
+		t.Errorf("Q^o = %s", plans.Over)
+	}
+	if !plans.HasNull() {
+		t.Error("overestimate must contain null")
+	}
+
+	res := Feasible(u, ps)
+	if res.Feasible || res.Verdict != VerdictNullInOverestimate {
+		t.Errorf("Example 4 must be infeasible by the null certificate, got %v", res)
+	}
+}
+
+// Example 9 of the paper (CQ processing): ans(Q) = F(x), B(x), F(z) and
+// the containment check decides feasibility.
+func TestExample9(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), B(x), B(y), F(z).`)
+	ps := pats(t, `F^o B^i`)
+
+	if Orderable(q, ps) {
+		t.Error("Example 9 must not be orderable")
+	}
+	a := AnswerablePart(q, ps)
+	if got, want := a.String(), "Q(x) :- F(x), B(x), F(z)"; got != want {
+		t.Errorf("ans(Q) = %q, want %q", got, want)
+	}
+	res := FeasibleCQ(q, ps)
+	if !res.Feasible || res.Verdict != VerdictContainment {
+		t.Errorf("Example 9 must be feasible via containment, got %v", res)
+	}
+}
+
+// Example 10 of the paper (UCQ processing).
+func TestExample10(t *testing.T) {
+	u := ucq(t, `
+		Q(x) :- F(x), G(x).
+		Q(x) :- F(x), H(x), B(y).
+		Q(x) :- F(x).
+	`)
+	ps := pats(t, `F^o G^o H^o B^i`)
+
+	a := AnswerableUCQ(u, ps)
+	want := ucq(t, `
+		Q(x) :- F(x), G(x).
+		Q(x) :- F(x), H(x).
+		Q(x) :- F(x).
+	`)
+	if !a.Equal(want) {
+		t.Errorf("ans(Q) = %s, want %s", a, want)
+	}
+	res := Feasible(u, ps)
+	if !res.Feasible || res.Verdict != VerdictContainment {
+		t.Errorf("Example 10 must be feasible via containment, got %v", res)
+	}
+}
+
+// An infeasible query where the unanswerable literal matters: no rule
+// covers it, so ans(Q) ⊑ Q fails.
+func TestInfeasibleByContainment(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), H(y).`)
+	ps := pats(t, `F^o H^i`)
+	// ans(Q) = F(x); H(y) is unanswerable; head x is answerable so no
+	// null; F(x) is not contained in Q.
+	res := FeasibleCQ(q, ps)
+	if res.Feasible {
+		t.Errorf("query must be infeasible, got %v", res)
+	}
+	if res.Verdict != VerdictContainment {
+		t.Errorf("verdict = %v, want containment", res.Verdict)
+	}
+}
+
+func TestUnsatisfiableRuleHandling(t *testing.T) {
+	q := cq(t, `Q(x) :- R(x), not R(x).`)
+	ps := pats(t, `R^o`)
+	a := AnswerablePart(q, ps)
+	if !a.False {
+		t.Errorf("ans of unsatisfiable rule must be false, got %s", a)
+	}
+	res := FeasibleCQ(q, ps)
+	if !res.Feasible {
+		t.Errorf("unsatisfiable query is equivalent to false, hence feasible: %v", res)
+	}
+	// An unsatisfiable body can still be orderable as written.
+	if !Orderable(q, ps) {
+		t.Error("R(x), not R(x) with R^o is orderable syntactically")
+	}
+	// ... but not with input-only patterns.
+	ps2 := pats(t, `R^i`)
+	if Orderable(q, ps2) {
+		t.Error("R(x), not R(x) with R^i must not be orderable")
+	}
+}
+
+// Proposition 4: Q ⊑ ans(Q), checked on the paper's examples.
+func TestProposition4OnExamples(t *testing.T) {
+	cases := []struct {
+		query    string
+		patterns string
+	}{
+		{`Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`, `B^ioo B^oio C^oo L^o`},
+		{`Q(x) :- F(x), B(x), B(y), F(z).`, `F^o B^i`},
+		{"Q(x) :- F(x), G(x).\nQ(x) :- F(x), H(x), B(y).\nQ(x) :- F(x).", `F^o G^o H^o B^i`},
+		{"Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).", `S^o R^oo B^oi T^oo`},
+	}
+	for _, c := range cases {
+		u := ucq(t, c.query)
+		ps := pats(t, c.patterns)
+		a := AnswerableUCQ(u, ps)
+		// Skip the containment check when ans is unsafe (nulls would be
+		// needed); Proposition 4 concerns the logical ans(Q).
+		if !containment.ContainedUCQ(u, a) {
+			t.Errorf("Proposition 4 violated: %s not contained in its answerable part %s", u, a)
+		}
+	}
+}
+
+// Proposition 9 (answerability transfers to the positive part): every
+// positive literal of ans(Q) also appears in ans(Q⁺).
+func TestProposition9Property(t *testing.T) {
+	g := workload.New(71)
+	s := g.Schema(4, 1, 2)
+	ps := g.Patterns(s, 0.5, 2)
+	cfg := workload.QueryConfig{PosLits: 4, NegLits: 2, VarPool: 5, ConstProb: 0.1, HeadVars: 1, DomainSize: 5}
+	for i := 0; i < 200; i++ {
+		q := g.CQ(s, cfg)
+		if !containment.Satisfiable(q) {
+			continue
+		}
+		aQ := AnswerablePart(q, ps)
+		aPos := AnswerablePart(q.PositivePart(), ps)
+		inPos := map[string]bool{}
+		for _, l := range aPos.Body {
+			inPos[l.Key()] = true
+		}
+		for _, l := range aQ.Body {
+			if l.Negated {
+				continue
+			}
+			if !inPos[l.Key()] {
+				t.Fatalf("Proposition 9 violated: %s in ans(Q) but not in ans(Q⁺)\nQ = %s\nans(Q) = %s\nans(Q⁺) = %s",
+					l, q, aQ, aPos)
+			}
+		}
+	}
+}
+
+// Monotonicity of answerability in the pattern set: adding patterns can
+// only grow ans(Q).
+func TestAnswerableMonotoneInPatterns(t *testing.T) {
+	g := workload.New(72)
+	s := g.Schema(4, 1, 2)
+	cfg := workload.QueryConfig{PosLits: 4, NegLits: 1, VarPool: 5, ConstProb: 0.1, HeadVars: 1, DomainSize: 5}
+	small := g.Patterns(s, 0.7, 1)
+	big := small.Clone()
+	for _, r := range s.Relations {
+		_ = big.Add(r.Name, access.AllOutputPattern(r.Arity))
+	}
+	for i := 0; i < 150; i++ {
+		q := g.CQ(s, cfg)
+		if !containment.Satisfiable(q) {
+			continue
+		}
+		aSmall := AnswerablePart(q, small)
+		aBig := AnswerablePart(q, big)
+		inBig := map[string]bool{}
+		for _, l := range aBig.Body {
+			inBig[l.Key()] = true
+		}
+		for _, l := range aSmall.Body {
+			if !inBig[l.Key()] {
+				t.Fatalf("answerability not monotone: %s answerable under fewer patterns only\nQ = %s", l, q)
+			}
+		}
+	}
+}
+
+// The reorder of an orderable query is equivalent to the original.
+func TestReorderPreservesEquivalence(t *testing.T) {
+	q := cq(t, `Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`)
+	ps := pats(t, `B^ioo B^oio C^oo L^o`)
+	r, ok := Reorder(q, ps)
+	if !ok {
+		t.Fatal("Example 1 must be orderable")
+	}
+	if !containment.Equivalent(logic.AsUnion(q), logic.AsUnion(r)) {
+		t.Errorf("reordering must preserve equivalence:\n%s\n%s", q, r)
+	}
+}
+
+func TestExecutionOrder(t *testing.T) {
+	q := cq(t, `Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`)
+	ps := pats(t, `B^ioo B^oio C^oo L^o`)
+	if _, err := ExecutionOrder(q, ps); err == nil {
+		t.Error("Example 1 as written must have no execution order")
+	}
+	r, _ := Reorder(q, ps)
+	steps, err := ExecutionOrder(r, ps)
+	if err != nil {
+		t.Fatalf("ExecutionOrder(reordered) error: %v", err)
+	}
+	if len(steps) != 3 || steps[0].Literal.Atom.Pred != "C" {
+		t.Errorf("steps = %v", steps)
+	}
+	if _, err := ExecutionOrder(logic.FalseQuery("Q", nil), ps); err != nil {
+		t.Errorf("false query must have a (trivial) execution order: %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictUnderEqualsOver:    "underestimate equals overestimate",
+		VerdictNullInOverestimate: "null in overestimate",
+		VerdictContainment:        "containment test ans(Q) ⊑ Q",
+	} {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestPlanStarString(t *testing.T) {
+	u := ucq(t, "Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).")
+	ps := pats(t, `S^o R^oo B^oi T^oo`)
+	s := ComputePlans(u, ps).String()
+	for _, want := range []string{"underestimate", "overestimate", "T(x, y)", "null"} {
+		if !containsStr(s, want) {
+			t.Errorf("PlanStar.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

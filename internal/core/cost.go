@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+// Stats carries the per-relation cardinality estimates the cost-based
+// order search consumes. DistinctPerColumn approximates the number of
+// distinct values per column (used as the reduction factor of a bound
+// attribute); when a relation is missing, defaults are assumed.
+type Stats struct {
+	// Cardinality is the estimated number of tuples per relation.
+	Cardinality map[string]float64
+	// DistinctPerColumn estimates distinct values per column per
+	// relation; a bound column divides the estimated output by this.
+	DistinctPerColumn map[string]float64
+}
+
+// DefaultCard is assumed for relations absent from Stats.
+const (
+	DefaultCard     = 1000.0
+	DefaultDistinct = 100.0
+)
+
+func (s Stats) card(rel string) float64 {
+	if s.Cardinality != nil {
+		if v, ok := s.Cardinality[rel]; ok && v > 0 {
+			return v
+		}
+	}
+	return DefaultCard
+}
+
+func (s Stats) distinct(rel string) float64 {
+	if s.DistinctPerColumn != nil {
+		if v, ok := s.DistinctPerColumn[rel]; ok && v > 1 {
+			return v
+		}
+	}
+	return DefaultDistinct
+}
+
+// CostOrder returns an executable order of q's body minimizing the
+// estimated number of source calls under a textbook independence cost
+// model:
+//
+//   - executing a positive literal issues one call per current binding
+//     and multiplies the binding count by card(R) / distinct(R)^b,
+//     where b is the number of bound argument positions;
+//   - executing a negated literal issues one call per binding and keeps
+//     a fraction that the model fixes at 1/2;
+//   - total cost = Σ calls over the steps.
+//
+// For bodies of at most ExhaustiveLimit literals the search is exact
+// (branch and bound over executable permutations); larger bodies fall
+// back to the greedy OptimizeOrder. ok is false when q is not orderable.
+func CostOrder(q logic.CQ, ps *access.Set, st Stats) (logic.CQ, bool) {
+	if q.False {
+		return q.Clone(), true
+	}
+	if !containment.Satisfiable(q) {
+		return logic.FalseQuery(q.HeadPred, q.HeadArgs), true
+	}
+	if len(q.Body) > ExhaustiveLimit {
+		return OptimizeOrder(q, ps)
+	}
+	n := len(q.Body)
+	bestCost := math.Inf(1)
+	var bestOrder []int
+	order := make([]int, 0, n)
+	taken := make([]bool, n)
+
+	var rec func(bound map[string]bool, bindings, cost float64)
+	rec = func(bound map[string]bool, bindings, cost float64) {
+		if cost >= bestCost {
+			return // branch and bound
+		}
+		if len(order) == n {
+			bestCost = cost
+			bestOrder = append([]int(nil), order...)
+			return
+		}
+		for i, l := range q.Body {
+			if taken[i] || !answerableNow(l, ps, bound) {
+				continue
+			}
+			newBound := bound
+			added := []string{}
+			for _, v := range l.Vars() {
+				if !bound[v.Name] {
+					added = append(added, v.Name)
+				}
+			}
+			if len(added) > 0 {
+				newBound = make(map[string]bool, len(bound)+len(added))
+				for k := range bound {
+					newBound[k] = true
+				}
+				for _, v := range added {
+					newBound[v] = true
+				}
+			}
+			nextBindings := stepOutput(l, bound, bindings, st)
+			taken[i] = true
+			order = append(order, i)
+			rec(newBound, nextBindings, cost+bindings)
+			order = order[:len(order)-1]
+			taken[i] = false
+		}
+	}
+	rec(map[string]bool{}, 1, 0)
+	if bestOrder == nil {
+		return q.Clone(), false
+	}
+	out := logic.CQ{HeadPred: q.HeadPred, HeadArgs: cloneTerms(q.HeadArgs)}
+	for _, i := range bestOrder {
+		out.Body = append(out.Body, q.Body[i].Clone())
+	}
+	return out, true
+}
+
+// ExhaustiveLimit is the body size up to which CostOrder searches all
+// executable permutations.
+const ExhaustiveLimit = 9
+
+// stepOutput estimates the binding count after executing literal l.
+func stepOutput(l logic.Literal, bound map[string]bool, bindings float64, st Stats) float64 {
+	if l.Negated {
+		return bindings / 2
+	}
+	rel := l.Atom.Pred
+	out := bindings * st.card(rel)
+	for _, t := range l.Atom.Args {
+		if t.IsConst() || (t.IsVar() && bound[t.Name]) {
+			out /= st.distinct(rel)
+		}
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// CostOrderUCQ cost-orders every rule, reporting whether all were
+// orderable.
+func CostOrderUCQ(u logic.UCQ, ps *access.Set, st Stats) (logic.UCQ, bool) {
+	rules := make([]logic.CQ, len(u.Rules))
+	ok := true
+	for i, r := range u.Rules {
+		var ri bool
+		rules[i], ri = CostOrder(r, ps, st)
+		ok = ok && ri
+	}
+	return logic.UCQ{Rules: rules}, ok
+}
+
+// StatsFromCardinalities builds Stats with the given table sizes and a
+// distinct-values heuristic of sqrt(cardinality) per column.
+func StatsFromCardinalities(cards map[string]int) Stats {
+	st := Stats{Cardinality: map[string]float64{}, DistinctPerColumn: map[string]float64{}}
+	for rel, n := range cards {
+		st.Cardinality[rel] = float64(n)
+		d := math.Sqrt(float64(n))
+		if d < 2 {
+			d = 2
+		}
+		st.DistinctPerColumn[rel] = d
+	}
+	return st
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+func TestCostOrderPrefersSmallRelationFirst(t *testing.T) {
+	// Big(x, w) has 10000 tuples, Small(x, v) has 10: the cost model
+	// must start with Small even though Big appears first.
+	q := cq(t, `Q(x) :- Big(x, w), Small(x, v).`)
+	ps := pats(t, `Big^oo Big^io Small^oo Small^io`)
+	st := StatsFromCardinalities(map[string]int{"Big": 10000, "Small": 10})
+	ordered, ok := CostOrder(q, ps, st)
+	if !ok {
+		t.Fatal("orderable")
+	}
+	if ordered.Body[0].Atom.Pred != "Small" {
+		t.Errorf("want Small first, got %s", ordered)
+	}
+	if !containment.Equivalent(logic.AsUnion(q), logic.AsUnion(ordered)) {
+		t.Error("cost ordering must preserve equivalence")
+	}
+}
+
+func TestCostOrderSchedulesFilterEarly(t *testing.T) {
+	q := cq(t, `Q(x, y) :- R1(x, w), R2(w, y), not L(x).`)
+	ps := pats(t, `R1^oo R2^io L^i`)
+	st := StatsFromCardinalities(map[string]int{"R1": 100, "R2": 100, "L": 90})
+	ordered, ok := CostOrder(q, ps, st)
+	if !ok {
+		t.Fatal("orderable")
+	}
+	if !ordered.Body[1].Negated {
+		t.Errorf("filter must run second: %s", ordered)
+	}
+}
+
+func TestCostOrderRespectsExecutability(t *testing.T) {
+	// Tiny(w) is the smallest relation but needs w bound; the optimizer
+	// cannot start with it.
+	q := cq(t, `Q(x) :- Gen(x, w), Tiny(w).`)
+	ps := pats(t, `Gen^oo Tiny^i`)
+	st := StatsFromCardinalities(map[string]int{"Gen": 1000, "Tiny": 1})
+	ordered, ok := CostOrder(q, ps, st)
+	if !ok {
+		t.Fatal("orderable")
+	}
+	if ordered.Body[0].Atom.Pred != "Gen" {
+		t.Errorf("must start with the only callable literal: %s", ordered)
+	}
+	if _, err := ExecutionOrder(ordered, ps); err != nil {
+		t.Errorf("cost order not executable: %v", err)
+	}
+}
+
+func TestCostOrderUnorderable(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), B(y).`)
+	ps := pats(t, `F^o B^i`)
+	if _, ok := CostOrder(q, ps, Stats{}); ok {
+		t.Error("unorderable query must be rejected")
+	}
+}
+
+func TestCostOrderSpecialCases(t *testing.T) {
+	ps := pats(t, `R^o`)
+	if got, ok := CostOrder(logic.FalseQuery("Q", nil), ps, Stats{}); !ok || !got.False {
+		t.Error("false must pass through")
+	}
+	unsat := cq(t, `Q(x) :- R(x), not R(x).`)
+	if got, ok := CostOrder(unsat, ps, Stats{}); !ok || !got.False {
+		t.Errorf("unsatisfiable must become false: %v %v", got, ok)
+	}
+	u := logic.Union(cq(t, `Q(x) :- R(x).`))
+	if got, ok := CostOrderUCQ(u, ps, Stats{}); !ok || len(got.Rules) != 1 {
+		t.Errorf("union cost ordering failed: %v %v", got, ok)
+	}
+}
+
+func TestCostOrderLargeBodyFallsBackToGreedy(t *testing.T) {
+	// Body longer than ExhaustiveLimit: must still return an executable
+	// equivalent order.
+	body := make([]logic.Literal, 0, ExhaustiveLimit+2)
+	ps := access.NewSet()
+	for i := 0; i <= ExhaustiveLimit+1; i++ {
+		name := "R" + string(rune('A'+i))
+		_ = ps.Add(name, "o")
+		body = append(body, logic.Pos(logic.NewAtom(name, logic.Var("x"))))
+	}
+	q := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{logic.Var("x")}, Body: body}
+	ordered, ok := CostOrder(q, ps, Stats{})
+	if !ok || len(ordered.Body) != len(body) {
+		t.Fatalf("fallback failed: %v %v", ordered, ok)
+	}
+	if _, err := ExecutionOrder(ordered, ps); err != nil {
+		t.Errorf("fallback order not executable: %v", err)
+	}
+}
+
+func TestStatsDefaults(t *testing.T) {
+	var st Stats
+	if st.card("unknown") != DefaultCard || st.distinct("unknown") != DefaultDistinct {
+		t.Error("defaults not applied")
+	}
+	st2 := StatsFromCardinalities(map[string]int{"R": 1})
+	if st2.DistinctPerColumn["R"] < 2 {
+		t.Error("distinct floor not applied")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+func TestFeasibleLimitedFastPaths(t *testing.T) {
+	// Fast paths never consume budget.
+	q := cq(t, `Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`)
+	ps := pats(t, `B^ioo B^oio C^oo L^o`)
+	res, err := FeasibleLimited(logic.AsUnion(q), ps, 0)
+	if err != nil || !res.Feasible || res.Verdict != VerdictUnderEqualsOver {
+		t.Errorf("fast path must ignore the budget: %v %v", res, err)
+	}
+	u2 := ucq(t, "Q(x, y) :- not S(z), R(x, z), B(x, y).\nQ(x, y) :- T(x, y).")
+	ps2 := pats(t, `S^o R^oo B^oi T^oo`)
+	res2, err := FeasibleLimited(u2, ps2, 0)
+	if err != nil || res2.Feasible || res2.Verdict != VerdictNullInOverestimate {
+		t.Errorf("null path must ignore the budget: %v %v", res2, err)
+	}
+}
+
+func TestFeasibleLimitedContainmentPath(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), B(x), B(y), F(z).`)
+	ps := pats(t, `F^o B^i`)
+	res, err := FeasibleLimited(logic.AsUnion(q), ps, 1_000_000)
+	if err != nil || !res.Feasible || res.Nodes == 0 {
+		t.Errorf("containment path: %v %v", res, err)
+	}
+	if _, err := FeasibleLimited(logic.AsUnion(q), ps, 0); err != containment.ErrBudget {
+		t.Errorf("zero budget on containment path must fail: %v", err)
+	}
+}
+
+func TestExplainFeasibleInfeasibleByContainment(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), H(y).`)
+	ps := pats(t, `F^o H^i`)
+	ex := ExplainFeasible(logic.AsUnion(q), ps)
+	if ex.Result.Feasible || ex.Result.Verdict != VerdictContainment {
+		t.Errorf("result = %+v", ex.Result)
+	}
+	if len(ex.Witnesses) != 0 {
+		t.Error("infeasible verdicts carry no witnesses")
+	}
+}
+
+func TestExplainFeasibleMultiRuleWitnesses(t *testing.T) {
+	u := ucq(t, `
+		Q(x) :- F(x), G(x).
+		Q(x) :- F(x), H(x), B(y).
+		Q(x) :- F(x).
+	`)
+	ps := pats(t, `F^o G^o H^o B^i`)
+	ex := ExplainFeasible(u, ps)
+	if !ex.Result.Feasible {
+		t.Fatalf("Example 10 must be feasible: %+v", ex.Result)
+	}
+	if len(ex.Witnesses) != len(ex.Result.Plans.Over.Rules) {
+		t.Errorf("witnesses = %d, over rules = %d", len(ex.Witnesses), len(ex.Result.Plans.Over.Rules))
+	}
+	checker := containment.NewChecker(u)
+	for i, w := range ex.Witnesses {
+		if err := checker.Verify(ex.Result.Plans.Over.Rules[i], w); err != nil {
+			t.Errorf("witness %d: %v", i, err)
+		}
+	}
+}
+
+func TestFeasibleResultString(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x).`)
+	ps := pats(t, `F^o`)
+	s := FeasibleCQ(q, ps).String()
+	if s != "feasible (by underestimate equals overestimate)" {
+		t.Errorf("String = %q", s)
+	}
+	q2 := cq(t, `Q(x) :- F(x), H(y).`)
+	ps2 := pats(t, `F^o H^i`)
+	s2 := FeasibleCQ(q2, ps2).String()
+	if s2 != "infeasible (by containment test ans(Q) ⊑ Q)" {
+		t.Errorf("String = %q", s2)
+	}
+	if Verdict(99).String() != "unknown" {
+		t.Error("unknown verdict string")
+	}
+}
+
+func TestAnswerableUnsafeNegationNeverAnswerable(t *testing.T) {
+	// A negated literal whose variable cannot ever be bound stays out of
+	// ans(Q) even when the relation is callable.
+	q := cq(t, `Q(x) :- F(x), not S(z).`)
+	ps := pats(t, `F^o S^o`)
+	a := AnswerablePart(q, ps)
+	if len(a.Body) != 1 || a.Body[0].Atom.Pred != "F" {
+		t.Errorf("ans = %s", a)
+	}
+	// With S^o and z free, the query is not orderable...
+	if Orderable(q, ps) {
+		t.Error("not orderable: z cannot be bound")
+	}
+	// ...and infeasible in general (ans(Q) = F(x) is strictly larger).
+	res := FeasibleCQ(q, ps)
+	if res.Feasible {
+		t.Errorf("must be infeasible: %v", res)
+	}
+}

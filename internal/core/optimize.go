@@ -1,0 +1,94 @@
+package core
+
+import (
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+// OptimizeOrder returns an executable reordering of q chosen to reduce
+// source traffic, or q unchanged and false if q is not orderable. Where
+// ANSWERABLE (Figure 1) emits literals in discovery order — its job is
+// only to decide orderability — this planner applies two classic
+// heuristics at each step, within the same quadratic budget:
+//
+//  1. filters first: a callable negated literal can only shrink the
+//     binding set, so it is always taken before any positive literal;
+//  2. bound-is-easier [Ull88]: among callable positive literals, prefer
+//     the one with the largest fraction of already-bound arguments
+//     (fewer new bindings per call), breaking ties toward patterns with
+//     more input slots (pushing selection into the source) and then
+//     original body order (determinism).
+//
+// The reordering is a permutation of q's body, so it is equivalent to q.
+func OptimizeOrder(q logic.CQ, ps *access.Set) (logic.CQ, bool) {
+	if q.False {
+		return q.Clone(), true
+	}
+	if !containment.Satisfiable(q) {
+		return logic.FalseQuery(q.HeadPred, q.HeadArgs), true
+	}
+	out := logic.CQ{HeadPred: q.HeadPred, HeadArgs: cloneTerms(q.HeadArgs)}
+	taken := make([]bool, len(q.Body))
+	bound := map[string]bool{}
+	for picked := 0; picked < len(q.Body); picked++ {
+		best := -1
+		bestScore := -1.0
+		bestInputs := -1
+		for i, l := range q.Body {
+			if taken[i] || !answerableNow(l, ps, bound) {
+				continue
+			}
+			if l.Negated {
+				// Filters first, in body order.
+				best = i
+				break
+			}
+			score := boundFraction(l.Atom, bound)
+			inputs := 0
+			if p, ok := ps.Callable(l.Atom, bound); ok {
+				inputs = p.InputCount()
+			}
+			if score > bestScore || (score == bestScore && inputs > bestInputs) {
+				best, bestScore, bestInputs = i, score, inputs
+			}
+		}
+		if best < 0 {
+			return q.Clone(), false
+		}
+		taken[best] = true
+		out.Body = append(out.Body, q.Body[best].Clone())
+		for _, v := range q.Body[best].Vars() {
+			bound[v.Name] = true
+		}
+	}
+	return out, true
+}
+
+// boundFraction is the fraction of argument positions holding constants
+// or already-bound variables.
+func boundFraction(a logic.Atom, bound map[string]bool) float64 {
+	if len(a.Args) == 0 {
+		return 1
+	}
+	n := 0
+	for _, t := range a.Args {
+		if t.IsConst() || (t.IsVar() && bound[t.Name]) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.Args))
+}
+
+// OptimizeOrderUCQ optimizes every rule, reporting whether all were
+// orderable.
+func OptimizeOrderUCQ(u logic.UCQ, ps *access.Set) (logic.UCQ, bool) {
+	rules := make([]logic.CQ, len(u.Rules))
+	ok := true
+	for i, r := range u.Rules {
+		var ri bool
+		rules[i], ri = OptimizeOrder(r, ps)
+		ok = ok && ri
+	}
+	return logic.UCQ{Rules: rules}, ok
+}

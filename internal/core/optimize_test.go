@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+func TestOptimizeOrderFiltersFirst(t *testing.T) {
+	// ANSWERABLE discovers R1, R2, not L in one pass; the optimizer must
+	// place the filter right after its variables are bound.
+	q := cq(t, `Q(x, y) :- R1(x, y), R2(y, z), not L(x).`)
+	ps := pats(t, `R1^oo R2^io L^i`)
+
+	a := AnswerablePart(q, ps)
+	if got := a.Body[2].Atom.Pred; got != "L" {
+		t.Fatalf("ANSWERABLE order unexpectedly optimal: %s", a)
+	}
+	opt, ok := OptimizeOrder(q, ps)
+	if !ok {
+		t.Fatal("query is orderable")
+	}
+	if got := opt.Body[1].String(); got != "not L(x)" {
+		t.Errorf("optimizer must schedule the filter second, got %s", opt)
+	}
+	if !containment.Equivalent(logic.AsUnion(q), logic.AsUnion(opt)) {
+		t.Error("optimization must preserve equivalence")
+	}
+}
+
+func TestOptimizeOrderBoundIsEasier(t *testing.T) {
+	// After F binds x, the optimizer prefers G(x) (fully bound) over
+	// H(x, w) (introduces w).
+	q := cq(t, `Q(x) :- F(x), H(x, w), G(x).`)
+	ps := pats(t, `F^o H^io G^i`)
+	opt, ok := OptimizeOrder(q, ps)
+	if !ok {
+		t.Fatal("orderable")
+	}
+	if opt.Body[1].Atom.Pred != "G" {
+		t.Errorf("want G scheduled before H, got %s", opt)
+	}
+}
+
+func TestOptimizeOrderNotOrderable(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), B(y).`)
+	ps := pats(t, `F^o B^i`)
+	if _, ok := OptimizeOrder(q, ps); ok {
+		t.Error("unorderable query must be rejected")
+	}
+}
+
+func TestOptimizeOrderSpecialCases(t *testing.T) {
+	ps := pats(t, `R^o`)
+	f := logic.FalseQuery("Q", nil)
+	if got, ok := OptimizeOrder(f, ps); !ok || !got.False {
+		t.Error("false must pass through")
+	}
+	unsat := cq(t, `Q(x) :- R(x), not R(x).`)
+	if got, ok := OptimizeOrder(unsat, ps); !ok || !got.False {
+		t.Errorf("unsatisfiable must become false, got %v %v", got, ok)
+	}
+	u := logic.Union(cq(t, `Q(x) :- R(x).`))
+	if got, ok := OptimizeOrderUCQ(u, ps); !ok || len(got.Rules) != 1 {
+		t.Errorf("union optimization failed: %v %v", got, ok)
+	}
+}
+
+// The optimized order is always executable and equivalent on random
+// orderable queries.
+func TestOptimizeOrderAlwaysExecutable(t *testing.T) {
+	qs := []string{
+		`Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`,
+		`Q(x) :- F(x), B(x), B(y), F(z).`,
+		`Q(x, y) :- R1(x, y), R2(y, z), not L(x).`,
+	}
+	pss := []string{
+		`B^ioo B^oio C^oo L^o`,
+		`F^o B^i`,
+		`R1^oo R2^io L^i`,
+	}
+	for i := range qs {
+		q := cq(t, qs[i])
+		ps := pats(t, pss[i])
+		opt, ok := OptimizeOrder(q, ps)
+		if !ok {
+			if Orderable(q, ps) {
+				t.Errorf("optimizer rejected an orderable query: %s", q)
+			}
+			continue
+		}
+		if _, err := ExecutionOrder(opt, ps); err != nil {
+			t.Errorf("optimized order not executable: %v", err)
+		}
+		if !containment.Equivalent(logic.AsUnion(q), logic.AsUnion(opt)) {
+			t.Errorf("optimization changed meaning: %s vs %s", q, opt)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sources"
+)
+
+// AnswerStar is the outcome of the ANSWER* algorithm (Figure 4 of the
+// paper): the runtime underestimate and overestimate of the answer to Q
+// on the current database, their difference Δ, and the completeness
+// information ANSWER* reports to the user.
+type AnswerStar struct {
+	// Plans is the compile-time PLAN* output that was executed.
+	Plans core.PlanStar
+	// Under is ansᵤ = ANSWER(Qᵘ, D): tuples guaranteed to be answers.
+	Under *Rel
+	// Over is ansₒ = ANSWER(Qᵒ, D): every answer is subsumed by some
+	// overestimate tuple (null means "unknown value", Example 7).
+	Over *Rel
+	// Delta is Δ = ansₒ \ ansᵤ, the tuples that may be answers.
+	Delta *Rel
+	// Complete reports Δ = ∅: the answer is complete even if the query
+	// is infeasible (Example 5).
+	Complete bool
+	// Ratio is the completeness lower bound |ansᵤ|/|ansₒ|, valid only
+	// when RatioValid (Δ nonempty and free of nulls; Example 7 explains
+	// why nulls forbid a numeric bound).
+	Ratio      float64
+	RatioValid bool
+}
+
+// Report renders the ANSWER* output in the shape of Figure 4.
+func (a AnswerStar) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "answer tuples (underestimate, %d):\n", a.Under.Len())
+	for _, r := range a.Under.Sorted() {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	if a.Complete {
+		b.WriteString("answer is complete\n")
+		return strings.TrimRight(b.String(), "\n")
+	}
+	b.WriteString("answer is not known to be complete\n")
+	b.WriteString("these tuples may be part of the answer:\n")
+	for _, r := range a.Delta.Sorted() {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	if a.RatioValid {
+		fmt.Fprintf(&b, "answer is at least %.2f complete\n", a.Ratio)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// RunAnswerStar executes ANSWER*: it computes the PLAN* plans for u,
+// evaluates both against the catalog, and derives Δ and the completeness
+// report.
+func RunAnswerStar(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
+	plans := core.ComputePlans(u, ps)
+	return RunAnswerStarWithPlans(plans, ps, cat)
+}
+
+// RunAnswerStarWithPlans is RunAnswerStar for precomputed plans (so
+// callers can reuse a compile-time PLAN* across database states).
+func RunAnswerStarWithPlans(plans core.PlanStar, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
+	under, err := Answer(plans.Under, ps, cat)
+	if err != nil {
+		return AnswerStar{}, fmt.Errorf("engine: evaluating underestimate: %w", err)
+	}
+	over, err := Answer(plans.Over, ps, cat)
+	if err != nil {
+		return AnswerStar{}, fmt.Errorf("engine: evaluating overestimate: %w", err)
+	}
+	out := AnswerStar{Plans: plans, Under: under, Over: over, Delta: over.Minus(under)}
+	out.Complete = out.Delta.Len() == 0
+	if !out.Complete && !out.Delta.HasNull() && over.Len() > 0 {
+		out.Ratio = float64(under.Len()) / float64(over.Len())
+		out.RatioValid = true
+	}
+	return out, nil
+}
+
+// ImproveUnder upgrades the underestimate with domain enumeration views
+// (the optional last step of Figure 4, detailed in Example 8): rules that
+// PLAN* dismissed because of an unanswerable part U are re-admitted as
+// ans ∧ dom(v…) ∧ U when every relation of U is callable at all. It
+// returns the improved underestimate relation and the improved rules
+// used, along with the enumeration metadata.
+func ImproveUnder(a AnswerStar, ps *access.Set, cat *sources.Catalog, maxCalls int) (*Rel, logic.UCQ, DomResult, error) {
+	dom := EnumerateDomain(cat, nil, maxCalls)
+	cat2, ps2, err := WithDomSource(cat, ps, dom.Values)
+	if err != nil {
+		return nil, logic.UCQ{}, dom, err
+	}
+	improved := NewRel()
+	improved.AddAll(a.Under)
+	var rules []logic.CQ
+	for _, ra := range a.Plans.Rules {
+		if ra.Complete() || ra.Ans.False {
+			continue
+		}
+		rule, ok := ImprovedUnderRule(ra.Ans, ra.Unanswerable, ps)
+		if !ok {
+			continue
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return improved, logic.UCQ{}, dom, nil
+	}
+	u := logic.UCQ{Rules: rules}
+	extra, err := Answer(u, ps2, cat2)
+	if err != nil {
+		return nil, u, dom, fmt.Errorf("engine: evaluating improved underestimate: %w", err)
+	}
+	improved.AddAll(extra)
+	return improved, u, dom, nil
+}

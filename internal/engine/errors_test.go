@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestAnswerErrorPaths(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a")
+	ps := pats(t, `R^o`)
+	cat := in.MustCatalog(ps)
+
+	// Non-executable order.
+	if _, err := Answer(ucq(t, `Q(x) :- S(x).`), ps, cat); err == nil {
+		t.Error("rule over a pattern-less relation must fail")
+	}
+
+	// Catalog missing a relation the pattern set declares.
+	ps2 := pats(t, `R^o S^o`)
+	if _, err := Answer(ucq(t, `Q(x) :- S(x).`), ps2, cat); err == nil || !strings.Contains(err.Error(), "no source") {
+		t.Errorf("missing source must fail, got %v", err)
+	}
+}
+
+func TestHeadRowErrors(t *testing.T) {
+	// An unsafe plan (head variable never bound) is caught at head
+	// construction. Build it directly since the parser rejects it.
+	q := logic.CQ{
+		HeadPred: "Q",
+		HeadArgs: []logic.Term{logic.Var("ghost")},
+		Body:     []logic.Literal{logic.Pos(logic.NewAtom("R", logic.Var("x")))},
+	}
+	in := NewInstance().MustAdd("R", "a")
+	ps := pats(t, `R^o`)
+	cat := in.MustCatalog(ps)
+	if _, err := Answer(logic.UCQ{Rules: []logic.CQ{q}}, ps, cat); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("unsafe head must fail, got %v", err)
+	}
+}
+
+func TestHeadConstantsAndNulls(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a")
+	ps := pats(t, `R^o`)
+	cat := in.MustCatalog(ps)
+	q := logic.CQ{
+		HeadPred: "Q",
+		HeadArgs: []logic.Term{logic.Const("tag"), logic.Var("x"), logic.Null},
+		Body:     []logic.Literal{logic.Pos(logic.NewAtom("R", logic.Var("x")))},
+	}
+	rel, err := Answer(logic.UCQ{Rules: []logic.CQ{q}}, ps, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Row{V("tag"), V("a"), NullValue}
+	if rel.Len() != 1 || !rel.Contains(want) {
+		t.Errorf("rel = %s, want %s", rel, want)
+	}
+}
+
+func TestNaiveArityMismatch(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a", "b")
+	if _, err := AnswerNaive(ucq(t, `Q(x) :- R(x).`), in); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestNaiveNullInBody(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a")
+	q := logic.CQ{
+		HeadPred: "Q",
+		HeadArgs: []logic.Term{logic.Var("x")},
+		Body: []logic.Literal{
+			logic.Pos(logic.NewAtom("R", logic.Var("x"))),
+			logic.Neg(logic.NewAtom("S", logic.Null)),
+		},
+	}
+	if _, err := AnswerNaive(logic.UCQ{Rules: []logic.CQ{q}}, in); err == nil {
+		t.Error("null in a body atom must fail")
+	}
+}
+
+// Example 3 under naive evaluation: the union is equivalent to
+// Q'(a) :- L(i), B(i, a, t) on every instance (active-domain semantics
+// for the negation-unsafe variables).
+func TestExample3NaiveSemantics(t *testing.T) {
+	u := ucq(t, `
+		Q(a) :- B(i, a, t), L(i), B(i', a', t).
+		Q(a) :- B(i, a, t), L(i), not B(i', a', t).
+	`)
+	qp := ucq(t, `Q(a) :- L(i), B(i, a, t).`)
+	instances := []*Instance{
+		NewInstance().
+			MustAdd("B", "i1", "knuth", "taocp").
+			MustAdd("L", "i1"),
+		NewInstance().
+			MustAdd("B", "i1", "knuth", "taocp").
+			MustAdd("B", "i2", "date", "taocp").
+			MustAdd("L", "i1").MustAdd("L", "i2"),
+		NewInstance().
+			MustAdd("B", "i1", "knuth", "taocp").
+			MustAdd("L", "i9"),
+		NewInstance(),
+	}
+	for i, in := range instances {
+		a, err := AnswerNaive(u, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AnswerNaive(qp, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("instance %d: union = %s, Q' = %s", i, a, b)
+		}
+	}
+}
+
+func TestNegationJointWitness(t *testing.T) {
+	// A variable shared by two negated literals needs one witness value
+	// satisfying both: ∃z (¬P(z) ∧ ¬S(z)).
+	q := logic.CQ{
+		HeadPred: "Q",
+		HeadArgs: []logic.Term{logic.Var("x")},
+		Body: []logic.Literal{
+			logic.Pos(logic.NewAtom("R", logic.Var("x"))),
+			logic.Neg(logic.NewAtom("P", logic.Var("z"))),
+			logic.Neg(logic.NewAtom("S", logic.Var("z"))),
+		},
+	}
+	u := logic.UCQ{Rules: []logic.CQ{q}}
+	// Domain {a, b}: P = {a}, S = {b}. No single z avoids both, so no
+	// answers.
+	in := NewInstance().MustAdd("R", "a").MustAdd("R", "b").MustAdd("P", "a").MustAdd("S", "b")
+	rel, err := AnswerNaive(u, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Errorf("joint witness must fail, got %s", rel)
+	}
+	// Add a value outside both: now every x qualifies.
+	in.MustAdd("R", "c")
+	rel2, err := AnswerNaive(u, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 3 {
+		t.Errorf("with witness c want 3 answers, got %s", rel2)
+	}
+}
+
+func TestRelStringAndSorted(t *testing.T) {
+	r := NewRel()
+	r.Add(RowOf("b"))
+	r.Add(RowOf("a"))
+	r.Add(Row{NullValue})
+	s := r.String()
+	if !strings.Contains(s, `("a")`) || !strings.Contains(s, "(null)") {
+		t.Errorf("String = %q", s)
+	}
+	sorted := r.Sorted()
+	if len(sorted) != 3 || sorted[0].Key() > sorted[1].Key() {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	if !r.HasNull() {
+		t.Error("HasNull must see the null row")
+	}
+}
+
+func TestInstanceCatalogArityMismatch(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a", "b")
+	ps := pats(t, `R^o`)
+	if _, err := in.Catalog(ps); err == nil {
+		t.Error("declared arity 1 vs stored arity 2 must fail")
+	}
+}

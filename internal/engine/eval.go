@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/sources"
+)
+
+// binding maps variable names to constant values during evaluation.
+type binding map[string]string
+
+func (b binding) clone() binding {
+	out := make(binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Answer evaluates an executable UCQ¬ plan against the catalog: each rule
+// is executed left to right through source calls that respect the access
+// patterns declared by ps. Rules must be executable as written (PLAN*
+// and Reorder emit such rules); otherwise an error is returned. This is
+// ANSWER(Q, D) of the paper, computed the only way the setting allows —
+// through the sources.
+func Answer(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
+	out := NewRel()
+	for _, rule := range u.Rules {
+		if rule.False {
+			continue
+		}
+		if err := answerRule(rule, ps, cat, out, nil); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// answerRule executes one rule and adds its answers to out. When prof is
+// non-nil, per-step accounting is recorded into it.
+func answerRule(q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+	steps, ok := access.AdornInOrder(q.Body, ps)
+	if !ok {
+		return fmt.Errorf("engine: rule is not executable as written: %s", q)
+	}
+	return runSteps(q, steps, cat, out, prof)
+}
+
+// AnswerSteps executes an explicitly adorned plan for one rule — the
+// caller chooses the access pattern of every step (e.g. via
+// access.AdornInOrderPrefer) — and returns its answers.
+func AnswerSteps(q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog) (*Rel, error) {
+	out := NewRel()
+	if q.False {
+		return out, nil
+	}
+	if err := runSteps(q, steps, cat, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runSteps drives the nested-loop execution of an adorned plan.
+func runSteps(q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+	bindings := []binding{{}}
+	for _, step := range steps {
+		var sp StepProfile
+		sp.Step = step
+		sp.BindingsIn = len(bindings)
+		var err error
+		bindings, err = applyStep(step, cat, bindings, &sp)
+		if err != nil {
+			return err
+		}
+		sp.BindingsOut = len(bindings)
+		if prof != nil {
+			prof.Steps = append(prof.Steps, sp)
+		}
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+	for _, b := range bindings {
+		row, err := headRow(q, b)
+		if err != nil {
+			return err
+		}
+		if out.Add(row) && prof != nil {
+			prof.Answers++
+		}
+	}
+	return nil
+}
+
+// applyStep runs one adorned literal over every current binding,
+// recording source traffic into sp.
+func applyStep(step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile) ([]binding, error) {
+	src := cat.Source(step.Literal.Atom.Pred)
+	if src == nil {
+		return nil, fmt.Errorf("engine: no source for relation %s", step.Literal.Atom.Pred)
+	}
+	var next []binding
+	for _, b := range bindings {
+		inputs, err := callInputs(step, b)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err := src.Call(step.Pattern, inputs)
+		if err != nil {
+			return nil, err
+		}
+		sp.Calls++
+		sp.TuplesReturned += len(tuples)
+		if step.Literal.Negated {
+			// Filter: keep the binding iff no returned tuple matches the
+			// (fully bound) arguments.
+			matched := false
+			for _, t := range tuples {
+				if tupleMatches(step.Literal.Atom, t, b) != nil {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				next = append(next, b)
+			}
+			continue
+		}
+		for _, t := range tuples {
+			if nb := tupleMatches(step.Literal.Atom, t, b); nb != nil {
+				next = append(next, nb)
+			}
+		}
+	}
+	return next, nil
+}
+
+// callInputs extracts the values for the input slots of the step's
+// pattern from the binding; executability guarantees they exist.
+func callInputs(step access.AdornedLiteral, b binding) ([]string, error) {
+	var inputs []string
+	for j, t := range step.Literal.Atom.Args {
+		if !step.Pattern.Input(j) {
+			continue
+		}
+		switch {
+		case t.IsConst():
+			inputs = append(inputs, t.Name)
+		case t.IsVar():
+			v, ok := b[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("engine: input slot %d of %s needs unbound variable %s", j+1, step, t.Name)
+			}
+			inputs = append(inputs, v)
+		default:
+			return nil, fmt.Errorf("engine: null cannot be used as a call input in %s", step)
+		}
+	}
+	return inputs, nil
+}
+
+// tupleMatches unifies the atom's arguments with a returned tuple under
+// binding b, returning the extended binding or nil on mismatch. (Sources
+// may return tuples that disagree with already-bound output slots; the
+// join filters them, per footnote 4 of the paper.)
+func tupleMatches(a logic.Atom, t sources.Tuple, b binding) binding {
+	nb := b
+	copied := false
+	for j, arg := range a.Args {
+		switch {
+		case arg.IsConst():
+			if t[j] != arg.Name {
+				return nil
+			}
+		case arg.IsVar():
+			if v, ok := nb[arg.Name]; ok {
+				if v != t[j] {
+					return nil
+				}
+				continue
+			}
+			if !copied {
+				nb = nb.clone()
+				copied = true
+			}
+			nb[arg.Name] = t[j]
+		default:
+			return nil // null in a body atom never matches stored data
+		}
+	}
+	if !copied && len(a.Args) > 0 {
+		// All arguments were already bound or constants; reuse b.
+		return b
+	}
+	return nb
+}
+
+// headRow builds the answer row for a binding. Null head arguments (from
+// overestimate rules) become null values; unbound head variables are an
+// error (the plan was unsafe).
+func headRow(q logic.CQ, b binding) (Row, error) {
+	row := make(Row, len(q.HeadArgs))
+	for i, t := range q.HeadArgs {
+		switch {
+		case t.IsNull():
+			row[i] = NullValue
+		case t.IsConst():
+			row[i] = V(t.Name)
+		default:
+			v, ok := b[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("engine: head variable %s is unbound; plan for %s is unsafe", t.Name, q.HeadPred)
+			}
+			row[i] = V(v)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/parser"
+	"repro/internal/sources"
+)
+
+// Instance is a database instance: named relations of constant tuples.
+// It is the hidden "global" database of the paper's setting; plans can
+// only observe it through limited-access sources (Catalog), while tests
+// and experiments use it directly for ground truth.
+type Instance struct {
+	rels map[string]*storedRel
+}
+
+type storedRel struct {
+	arity int
+	rows  []sources.Tuple
+	seen  map[string]bool
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance { return &Instance{rels: map[string]*storedRel{}} }
+
+// Add inserts a tuple into the named relation, creating it on first use.
+// Arity mismatches are an error; duplicates are ignored (set semantics).
+func (in *Instance) Add(name string, vals ...string) error {
+	r, ok := in.rels[name]
+	if !ok {
+		r = &storedRel{arity: len(vals), seen: map[string]bool{}}
+		in.rels[name] = r
+	}
+	if len(vals) != r.arity {
+		return fmt.Errorf("engine: relation %s has arity %d, got tuple of %d", name, r.arity, len(vals))
+	}
+	t := sources.Tuple(vals)
+	if r.seen[t.Key()] {
+		return nil
+	}
+	r.seen[t.Key()] = true
+	r.rows = append(r.rows, append(sources.Tuple(nil), t...))
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (in *Instance) MustAdd(name string, vals ...string) *Instance {
+	if err := in.Add(name, vals...); err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// LoadFacts inserts parsed ground facts.
+func (in *Instance) LoadFacts(facts []parser.Fact) error {
+	for _, f := range facts {
+		if err := in.Add(f.Pred, f.Args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseInto parses the fact text and loads it.
+func (in *Instance) ParseInto(src string) error {
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		return err
+	}
+	return in.LoadFacts(facts)
+}
+
+// Relations returns the relation names, sorted.
+func (in *Instance) Relations() []string {
+	out := make([]string, 0, len(in.rels))
+	for n := range in.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arity returns the arity of the relation, or -1 if absent.
+func (in *Instance) Arity(name string) int {
+	if r, ok := in.rels[name]; ok {
+		return r.arity
+	}
+	return -1
+}
+
+// Rows returns the tuples of the relation (shared backing; do not
+// mutate).
+func (in *Instance) Rows(name string) []sources.Tuple {
+	if r, ok := in.rels[name]; ok {
+		return r.rows
+	}
+	return nil
+}
+
+// Has reports whether the named relation contains the tuple.
+func (in *Instance) Has(name string, vals ...string) bool {
+	r, ok := in.rels[name]
+	if !ok {
+		return false
+	}
+	return r.seen[sources.Tuple(vals).Key()]
+}
+
+// Size returns the total number of tuples across relations.
+func (in *Instance) Size() int {
+	n := 0
+	for _, r := range in.rels {
+		n += len(r.rows)
+	}
+	return n
+}
+
+// ActiveDomain returns all constant values occurring in the instance,
+// sorted. Naive evaluation of negation-unsafe variables quantifies over
+// this set.
+func (in *Instance) ActiveDomain() []string {
+	seen := map[string]bool{}
+	for _, r := range in.rels {
+		for _, t := range r.rows {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Catalog wraps the instance's relations as limited-access Table sources
+// according to the pattern set: each relation named in ps becomes a
+// source with exactly the declared patterns. Relations of the instance
+// not mentioned in ps get no source at all (they are unreachable, like a
+// web service nobody published). Relations in ps absent from the
+// instance become empty sources.
+func (in *Instance) Catalog(ps *access.Set) (*sources.Catalog, error) {
+	var srcs []sources.Source
+	for _, name := range ps.Relations() {
+		pats := ps.Patterns(name)
+		arity := ps.Arity(name)
+		var rows []sources.Tuple
+		if r, ok := in.rels[name]; ok {
+			if r.arity != arity {
+				return nil, fmt.Errorf("engine: relation %s stored with arity %d but declared with patterns of arity %d", name, r.arity, arity)
+			}
+			rows = r.rows
+		}
+		t, err := sources.NewTable(name, arity, pats, rows)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, t)
+	}
+	return sources.NewCatalog(srcs...)
+}
+
+// MustCatalog is Catalog that panics on error.
+func (in *Instance) MustCatalog(ps *access.Set) *sources.Catalog {
+	c, err := in.Catalog(ps)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/sources"
+)
+
+// AnswerParallel evaluates the executable plan with one goroutine per
+// rule — the paper's reading of a UCQ¬ plan: "execute each rule
+// separately (possibly in parallel) from left to right" (Section 3).
+// Table sources are safe for concurrent use; results are merged under
+// set semantics, so the answer equals Answer's. The first rule error
+// aborts the whole evaluation.
+func AnswerParallel(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
+	type ruleResult struct {
+		rel *Rel
+		err error
+	}
+	var wg sync.WaitGroup
+	results := make([]ruleResult, len(u.Rules))
+	for i, rule := range u.Rules {
+		if rule.False {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rule logic.CQ) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					results[i] = ruleResult{err: fmt.Errorf("engine: rule %d panicked: %v", i+1, r)}
+				}
+			}()
+			rel := NewRel()
+			err := answerRule(rule, ps, cat, rel, nil)
+			results[i] = ruleResult{rel: rel, err: err}
+		}(i, rule)
+	}
+	wg.Wait()
+	out := NewRel()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.rel != nil {
+			out.AddAll(r.rel)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/sources"
+)
+
+// StepProfile is the traffic accounting of one plan step (one adorned
+// literal): how many source calls it issued, how many tuples came back,
+// and how the binding set changed. It is the per-operator half of an
+// EXPLAIN ANALYZE for limited-access plans.
+type StepProfile struct {
+	Step           access.AdornedLiteral
+	Calls          int
+	TuplesReturned int
+	BindingsIn     int
+	BindingsOut    int
+}
+
+// String renders one profile line.
+func (sp StepProfile) String() string {
+	return fmt.Sprintf("%-36s calls=%-5d tuples=%-6d bindings %d→%d",
+		sp.Step.String(), sp.Calls, sp.TuplesReturned, sp.BindingsIn, sp.BindingsOut)
+}
+
+// RuleProfile is the execution profile of one rule.
+type RuleProfile struct {
+	Rule    logic.CQ
+	Steps   []StepProfile
+	Answers int // new answer tuples this rule contributed
+}
+
+// Profile is the execution profile of a whole plan.
+type Profile struct {
+	Rules []RuleProfile
+}
+
+// TotalCalls sums source calls across all rules.
+func (p Profile) TotalCalls() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.Calls
+		}
+	}
+	return n
+}
+
+// TotalTuples sums tuples returned across all rules.
+func (p Profile) TotalTuples() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.TuplesReturned
+		}
+	}
+	return n
+}
+
+// String renders the profile, one rule block per rule.
+func (p Profile) String() string {
+	var b strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "rule %d: %s   (%d answers)\n", i+1, r.Rule, r.Answers)
+		for _, s := range r.Steps {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// AnswerProfiled is Answer with per-step execution accounting: it
+// evaluates the executable plan and returns both the answers and the
+// profile of every rule's steps.
+func AnswerProfiled(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Profile, error) {
+	out := NewRel()
+	var prof Profile
+	for _, rule := range u.Rules {
+		if rule.False {
+			continue
+		}
+		rp := RuleProfile{Rule: rule.Clone()}
+		if err := answerRule(rule, ps, cat, out, &rp); err != nil {
+			return nil, Profile{}, err
+		}
+		prof.Rules = append(prof.Rules, rp)
+	}
+	return out, prof, nil
+}

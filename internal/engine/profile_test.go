@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnswerProfiled(t *testing.T) {
+	in := NewInstance()
+	for _, x := range []string{"a", "b", "c"} {
+		in.MustAdd("R", x, "k")
+	}
+	in.MustAdd("T", "k", "v")
+	in.MustAdd("L", "b")
+	ps := pats(t, `R^oo T^io L^i`)
+	cat := in.MustCatalog(ps)
+	u := ucq(t, `Q(x, y) :- R(x, z), not L(x), T(z, y).`)
+
+	rel, prof, err := AnswerProfiled(u, ps, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("answers = %s", rel)
+	}
+	if len(prof.Rules) != 1 || len(prof.Rules[0].Steps) != 3 {
+		t.Fatalf("profile shape: %+v", prof)
+	}
+	steps := prof.Rules[0].Steps
+	// R^oo: one call, 3 tuples, bindings 1→3.
+	if steps[0].Calls != 1 || steps[0].TuplesReturned != 3 || steps[0].BindingsIn != 1 || steps[0].BindingsOut != 3 {
+		t.Errorf("R step = %+v", steps[0])
+	}
+	// not L: 3 calls (one per binding), filters b out: 3→2.
+	if steps[1].Calls != 3 || steps[1].BindingsOut != 2 {
+		t.Errorf("L step = %+v", steps[1])
+	}
+	// T^io: 2 calls, 2 tuples, 2→2.
+	if steps[2].Calls != 2 || steps[2].BindingsOut != 2 {
+		t.Errorf("T step = %+v", steps[2])
+	}
+	if prof.TotalCalls() != 6 {
+		t.Errorf("TotalCalls = %d, want 6", prof.TotalCalls())
+	}
+	if prof.TotalTuples() != 5+steps[1].TuplesReturned {
+		t.Errorf("TotalTuples = %d", prof.TotalTuples())
+	}
+	if prof.Rules[0].Answers != 2 {
+		t.Errorf("Answers = %d", prof.Rules[0].Answers)
+	}
+	s := prof.String()
+	for _, want := range []string{"rule 1:", "calls=", "bindings 1→3", "(2 answers)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Profile.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The profile's totals agree with the catalog's meters.
+func TestProfileAgreesWithMeters(t *testing.T) {
+	in := bookstore(t)
+	ps := pats(t, `B^ioo B^oio C^oo L^o`)
+	cat := in.MustCatalog(ps)
+	u := ucq(t, `Q(i, a, t) :- C(i, a), B(i, a, t), not L(i).`)
+	_, prof, err := AnswerProfiled(u, ps, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cat.TotalStats()
+	if prof.TotalCalls() != st.Calls {
+		t.Errorf("profile calls %d != meter calls %d", prof.TotalCalls(), st.Calls)
+	}
+	if prof.TotalTuples() != st.TuplesReturned {
+		t.Errorf("profile tuples %d != meter tuples %d", prof.TotalTuples(), st.TuplesReturned)
+	}
+}
+
+func TestAnswerProfiledSkipsFalseRules(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a")
+	ps := pats(t, `R^o`)
+	cat := in.MustCatalog(ps)
+	u := ucq(t, "Q(x) :- R(x).\nQ(x) :- false.")
+	rel, prof, err := AnswerProfiled(u, ps, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || len(prof.Rules) != 1 {
+		t.Errorf("rel=%s profile rules=%d", rel, len(prof.Rules))
+	}
+}

@@ -1,0 +1,114 @@
+// Package lichang implements the four baseline feasibility algorithms of
+// Li & Chang ("On Answering Queries in the Presence of Limited Access
+// Patterns", ICDT 2001), as recalled in Sections 5.3 and 5.4 of Nash &
+// Ludäscher (EDBT 2004):
+//
+//   - CQstable:   minimize Q, then check the minimal query is orderable.
+//   - CQstable*:  compute ans(Q), then check ans(Q) ⊑ Q.
+//   - UCQstable:  minimize the union, then check every disjunct stable.
+//   - UCQstable*: take the union P of the feasible disjuncts, check Q ⊑ P.
+//
+// They are defined for CQ and UCQ (no negation); the paper's uniform
+// FEASIBLE algorithm coincides with CQstable* on CQ and provides a third
+// algorithm for UCQ. These baselines exist here to cross-validate
+// FEASIBLE and to benchmark the relative cost of the five algorithms
+// (experiment E7).
+package lichang
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/minimize"
+)
+
+// requireNegationFree rejects CQ¬ inputs: the Li–Chang algorithms are
+// specified for CQ/UCQ only.
+func requireNegationFree(u logic.UCQ) error {
+	for _, r := range u.Rules {
+		for _, l := range r.Body {
+			if l.Negated {
+				return fmt.Errorf("lichang: %s has negation; the Li–Chang algorithms handle CQ/UCQ only", r.HeadPred)
+			}
+		}
+	}
+	return nil
+}
+
+// CQStable decides feasibility of a conjunctive query by minimizing it
+// and checking that the minimal query is orderable (ans(M) = M).
+func CQStable(q logic.CQ, ps *access.Set) (bool, error) {
+	if err := requireNegationFree(logic.AsUnion(q)); err != nil {
+		return false, err
+	}
+	m := minimize.CQ(q)
+	if m.False {
+		return true, nil
+	}
+	return core.Orderable(m, ps), nil
+}
+
+// CQStableStar decides feasibility of a conjunctive query by computing
+// ans(Q) and checking ans(Q) ⊑ Q. On conjunctive queries this is exactly
+// the paper's FEASIBLE.
+func CQStableStar(q logic.CQ, ps *access.Set) (bool, error) {
+	if err := requireNegationFree(logic.AsUnion(q)); err != nil {
+		return false, err
+	}
+	a := core.AnswerablePart(q, ps)
+	if a.False {
+		return true, nil
+	}
+	if !a.Safe() {
+		return false, nil
+	}
+	return containment.ContainedCQ(a, q), nil
+}
+
+// UCQStable decides feasibility of a UCQ by minimizing the union (with
+// respect to both disjuncts and literals) and checking that every
+// remaining disjunct is stable per CQStable.
+func UCQStable(u logic.UCQ, ps *access.Set) (bool, error) {
+	if err := requireNegationFree(u); err != nil {
+		return false, err
+	}
+	m := minimize.UCQ(u)
+	for _, r := range m.Rules {
+		ok, err := CQStable(r, ps)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UCQStableStar decides feasibility of a UCQ by collecting the union P
+// of its feasible disjuncts (P ⊑ Q holds by construction) and checking
+// Q ⊑ P.
+func UCQStableStar(u logic.UCQ, ps *access.Set) (bool, error) {
+	if err := requireNegationFree(u); err != nil {
+		return false, err
+	}
+	var feasible []logic.CQ
+	for _, r := range u.Rules {
+		ok, err := CQStableStar(r, ps)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			feasible = append(feasible, r.Clone())
+		}
+	}
+	if len(feasible) == 0 {
+		// P is the empty union (false); Q ⊑ false only if every rule is
+		// unsatisfiable.
+		return !containment.SatisfiableUCQ(u), nil
+	}
+	return containment.ContainedUCQ(u, logic.UCQ{Rules: feasible}), nil
+}

@@ -1,0 +1,206 @@
+package lichang
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+func cq(t *testing.T, src string) logic.CQ {
+	t.Helper()
+	q, err := parser.ParseCQ(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func ucq(t *testing.T, src string) logic.UCQ {
+	t.Helper()
+	u, err := parser.ParseUCQ(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func pats(t *testing.T, src string) *access.Set {
+	t.Helper()
+	s, err := parser.ParsePatterns(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Example 9 of the paper, decided by all three CQ algorithms.
+func TestExample9AllAlgorithmsAgree(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), B(x), B(y), F(z).`)
+	ps := pats(t, `F^o B^i`)
+
+	stable, err := CQStable(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := CQStableStar(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := core.FeasibleCQ(q, ps).Feasible
+	if !stable || !star || !uniform {
+		t.Errorf("CQstable=%v CQstable*=%v FEASIBLE=%v, want all true", stable, star, uniform)
+	}
+}
+
+// Example 10 of the paper, decided by UCQstable, UCQstable*, and FEASIBLE.
+func TestExample10AllAlgorithmsAgree(t *testing.T) {
+	u := ucq(t, `
+		Q(x) :- F(x), G(x).
+		Q(x) :- F(x), H(x), B(y).
+		Q(x) :- F(x).
+	`)
+	ps := pats(t, `F^o G^o H^o B^i`)
+
+	stable, err := UCQStable(u, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := UCQStableStar(u, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := core.Feasible(u, ps).Feasible
+	if !stable || !star || !uniform {
+		t.Errorf("UCQstable=%v UCQstable*=%v FEASIBLE=%v, want all true", stable, star, uniform)
+	}
+}
+
+func TestInfeasibleCQ(t *testing.T) {
+	// ans(Q) = F(x) but B(y) is essential: Q is infeasible.
+	q := cq(t, `Q(x) :- F(x), B(y).`)
+	ps := pats(t, `F^o B^i`)
+	stable, err := CQStable(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := CQStableStar(q, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := core.FeasibleCQ(q, ps).Feasible
+	if stable || star || uniform {
+		t.Errorf("CQstable=%v CQstable*=%v FEASIBLE=%v, want all false", stable, star, uniform)
+	}
+}
+
+func TestInfeasibleUCQ(t *testing.T) {
+	u := ucq(t, "Q(x) :- F(x), B(y).\nQ(x) :- G(x).")
+	ps := pats(t, `F^o G^o B^i`)
+	stable, err := UCQStable(u, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := UCQStableStar(u, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := core.Feasible(u, ps).Feasible
+	if stable || star || uniform {
+		t.Errorf("UCQstable=%v UCQstable*=%v FEASIBLE=%v, want all false", stable, star, uniform)
+	}
+}
+
+// A UCQ where an infeasible disjunct is absorbed by a feasible one.
+func TestAbsorbedInfeasibleDisjunct(t *testing.T) {
+	u := ucq(t, "Q(x) :- F(x), B(y).\nQ(x) :- F(x).")
+	ps := pats(t, `F^o B^i`)
+	for name, fn := range map[string]func(logic.UCQ, *access.Set) (bool, error){
+		"UCQstable":  UCQStable,
+		"UCQstable*": UCQStableStar,
+	} {
+		got, err := fn(u, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Errorf("%s = false, want true (dismissed disjunct is redundant)", name)
+		}
+	}
+	if !core.Feasible(u, ps).Feasible {
+		t.Error("FEASIBLE must also report true")
+	}
+}
+
+func TestRejectNegation(t *testing.T) {
+	q := cq(t, `Q(x) :- F(x), not S(x).`)
+	ps := pats(t, `F^o S^o`)
+	if _, err := CQStable(q, ps); err == nil {
+		t.Error("CQstable must reject negation")
+	}
+	if _, err := CQStableStar(q, ps); err == nil {
+		t.Error("CQstable* must reject negation")
+	}
+	u := logic.AsUnion(q)
+	if _, err := UCQStable(u, ps); err == nil {
+		t.Error("UCQstable must reject negation")
+	}
+	if _, err := UCQStableStar(u, ps); err == nil {
+		t.Error("UCQstable* must reject negation")
+	}
+}
+
+// Cross-validation on a grid of small CQ/UCQ cases: all five algorithms
+// must agree with FEASIBLE.
+func TestAgreementGrid(t *testing.T) {
+	cases := []struct {
+		query    string
+		patterns string
+	}{
+		{`Q(x) :- F(x).`, `F^o`},
+		{`Q(x) :- F(x).`, `F^i`},
+		{`Q(x) :- F(x), B(x).`, `F^o B^i`},
+		{`Q(x) :- B(x), F(x).`, `F^o B^i`},
+		{`Q(x) :- B(x).`, `B^i`},
+		{`Q(x) :- F(x), B(x), B(y), F(z).`, `F^o B^i`},
+		{`Q(x) :- F(x), G(y).`, `F^o G^i`},
+		{`Q(x) :- F(x), G(y), G(x).`, `F^o G^i`},
+		{"Q(x) :- F(x), G(x).\nQ(x) :- F(x).", `F^o G^i`},
+		{"Q(x) :- F(x), G(x).\nQ(x) :- G(x).", `F^o G^i`},
+		{"Q(x) :- F(x), B(y).\nQ(x) :- F(x), G(x).", `F^o G^o B^i`},
+	}
+	for _, c := range cases {
+		u := ucq(t, c.query)
+		ps := pats(t, c.patterns)
+		want := core.Feasible(u, ps).Feasible
+
+		st, err := UCQStable(u, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		star, err := UCQStableStar(u, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != want || star != want {
+			t.Errorf("disagreement on %q (%s): FEASIBLE=%v UCQstable=%v UCQstable*=%v",
+				c.query, c.patterns, want, st, star)
+		}
+		if len(u.Rules) == 1 {
+			cs, err := CQStable(u.Rules[0], ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			css, err := CQStableStar(u.Rules[0], ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs != want || css != want {
+				t.Errorf("CQ disagreement on %q (%s): FEASIBLE=%v CQstable=%v CQstable*=%v",
+					c.query, c.patterns, want, cs, css)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package logic
+
+import "testing"
+
+func TestCQHelpers(t *testing.T) {
+	q := ex1()
+	if !q.HasLiteral(Neg(NewAtom("L", Var("i")))) {
+		t.Error("HasLiteral must find not L(i)")
+	}
+	if q.HasLiteral(Pos(NewAtom("L", Var("i")))) {
+		t.Error("HasLiteral must be sign-sensitive")
+	}
+	if !q.HasAtom(NewAtom("C", Var("i"), Var("a")), false) {
+		t.Error("HasAtom must find C(i, a)")
+	}
+	rels := q.Relations()
+	if len(rels) != 3 || rels["B"] != 3 || rels["L"] != 1 {
+		t.Errorf("Relations = %v", rels)
+	}
+	bv := q.BodyVars()
+	if len(bv) != 3 {
+		t.Errorf("BodyVars = %v", bv)
+	}
+	if q.Key() != q.String() {
+		t.Error("Key must equal String")
+	}
+	if q.HasNullHead() {
+		t.Error("no null in Example 1 head")
+	}
+	q2 := q.Clone()
+	q2.HeadArgs[0] = Null
+	if !q2.HasNullHead() {
+		t.Error("HasNullHead must see null")
+	}
+}
+
+func TestAtomLiteralKeys(t *testing.T) {
+	a := NewAtom("R", Var("x"), Const("c"))
+	if a.Key() != a.String() {
+		t.Error("Atom.Key must equal String")
+	}
+	l := Neg(a)
+	if l.Key() != "not "+a.String() {
+		t.Errorf("Literal.Key = %q", l.Key())
+	}
+	if !l.Equal(l.Clone()) {
+		t.Error("clone must be equal")
+	}
+	if l.Equal(Pos(a)) {
+		t.Error("sign must matter")
+	}
+}
+
+func TestUCQHelpers(t *testing.T) {
+	u := Union(ex1())
+	if u.HeadPred() != "Q" || u.HeadArity() != 3 {
+		t.Errorf("head = %s/%d", u.HeadPred(), u.HeadArity())
+	}
+	empty := UCQ{}
+	if empty.HeadPred() != "" || empty.HeadArity() != 0 {
+		t.Error("empty union head must be zero")
+	}
+	if !empty.IsFalse() {
+		t.Error("empty union is false")
+	}
+	if u.IsFalse() {
+		t.Error("nonempty satisfiable union is not false")
+	}
+	rels := u.Relations()
+	if len(rels) != 3 {
+		t.Errorf("Relations = %v", rels)
+	}
+	if u.HasNull() {
+		t.Error("no nulls in Example 1")
+	}
+	withNull := u.Clone()
+	withNull.Rules[0].HeadArgs[2] = Null
+	if !withNull.HasNull() {
+		t.Error("HasNull must see the null head")
+	}
+	if u.Equal(withNull) {
+		t.Error("Equal must distinguish null heads")
+	}
+}
+
+func TestUCQEqualAsSet(t *testing.T) {
+	a := Union(
+		CQ{HeadPred: "Q", HeadArgs: []Term{Var("x")}, Body: []Literal{Pos(NewAtom("R", Var("x")))}},
+		CQ{HeadPred: "Q", HeadArgs: []Term{Var("x")}, Body: []Literal{Pos(NewAtom("S", Var("x")))}},
+	)
+	b := Union(a.Rules[1], a.Rules[0]) // swapped
+	if !a.EqualAsSet(b) {
+		t.Error("EqualAsSet must ignore rule order")
+	}
+	if a.Equal(b) {
+		t.Error("Equal must be order-sensitive")
+	}
+	c := Union(a.Rules[0], a.Rules[0])
+	if a.EqualAsSet(c) {
+		t.Error("EqualAsSet must distinguish different rule multisets")
+	}
+}
+
+func TestSubstHelpers(t *testing.T) {
+	s := NewSubst().Bind("x", Const("a"))
+	if s.Term(Var("x")) != Const("a") || s.Term(Var("y")) != Var("y") {
+		t.Error("Term lookup wrong")
+	}
+	if s.Term(Const("x")) != Const("x") {
+		t.Error("constants must pass through")
+	}
+	if s.Term(Null) != Null {
+		t.Error("null must pass through")
+	}
+	a := s.Atom(NewAtom("R", Var("x"), Var("y")))
+	if a.Args[0] != Const("a") || a.Args[1] != Var("y") {
+		t.Errorf("Atom subst = %v", a)
+	}
+	l := s.Literal(Neg(NewAtom("R", Var("x"))))
+	if !l.Negated || l.Atom.Args[0] != Const("a") {
+		t.Errorf("Literal subst = %v", l)
+	}
+	u := s.UCQ(Union(ex1()))
+	if len(u.Rules) != 1 {
+		t.Errorf("UCQ subst = %v", u)
+	}
+	// Bind must not mutate the receiver.
+	s2 := s.Bind("y", Const("b"))
+	if _, ok := s["y"]; ok {
+		t.Error("Bind mutated the receiver")
+	}
+	if len(s2) != 2 {
+		t.Errorf("Bind result = %v", s2)
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	names := VarNames(ex1())
+	if len(names) != 3 || !names["i"] || !names["a"] || !names["t"] {
+		t.Errorf("VarNames = %v", names)
+	}
+}
+
+func TestPositivePart(t *testing.T) {
+	pp := ex1().PositivePart()
+	if len(pp.Body) != 2 || pp.False {
+		t.Errorf("PositivePart = %v", pp)
+	}
+	f := FalseQuery("Q", nil).PositivePart()
+	if !f.False {
+		t.Error("PositivePart of false must stay false")
+	}
+}
+
+func TestQuoteConstEscapes(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"plain", `"plain"`},
+		{`with"quote`, `"with\"quote"`},
+		{`back\slash`, `"back\\slash"`},
+		{"new\nline", `"new\nline"`},
+		{"tab\tchar", `"tab\tchar"`},
+		{"\xf3", "\"\xf3\""}, // raw non-UTF8 byte passes through
+	}
+	for _, tt := range tests {
+		if got := Const(tt.in).String(); got != tt.want {
+			t.Errorf("Const(%q).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (CQ{}).Validate(); err == nil {
+		t.Error("empty head pred must be invalid")
+	}
+	bad := FalseQuery("Q", nil)
+	bad.Body = []Literal{Pos(NewAtom("R", Var("x")))}
+	if err := bad.Validate(); err == nil {
+		t.Error("false query with a body must be invalid")
+	}
+}

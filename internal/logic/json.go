@@ -1,0 +1,147 @@
+package logic
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding: terms marshal as tagged objects so variables, constants
+// and null are unambiguous; atoms, literals and queries marshal
+// structurally. A mediator service exchanging plans with clients needs a
+// wire form, and the Datalog text form is lossy for exotic constant
+// values only in readability, not content — JSON is the
+// machine-friendly alternative.
+
+type termJSON struct {
+	Kind string `json:"kind"` // "var" | "const" | "null"
+	Name string `json:"name,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t Term) MarshalJSON() ([]byte, error) {
+	switch t.Kind {
+	case KindVar:
+		return json.Marshal(termJSON{Kind: "var", Name: t.Name})
+	case KindConst:
+		return json.Marshal(termJSON{Kind: "const", Name: t.Name})
+	case KindNull:
+		return json.Marshal(termJSON{Kind: "null"})
+	}
+	return nil, fmt.Errorf("logic: unknown term kind %d", t.Kind)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Term) UnmarshalJSON(data []byte) error {
+	var tj termJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	switch tj.Kind {
+	case "var":
+		if tj.Name == "" {
+			return fmt.Errorf("logic: variable with empty name")
+		}
+		*t = Var(tj.Name)
+	case "const":
+		*t = Const(tj.Name)
+	case "null":
+		*t = Null
+	default:
+		return fmt.Errorf("logic: unknown term kind %q", tj.Kind)
+	}
+	return nil
+}
+
+type atomJSON struct {
+	Pred string `json:"pred"`
+	Args []Term `json:"args,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a Atom) MarshalJSON() ([]byte, error) {
+	return json.Marshal(atomJSON{Pred: a.Pred, Args: a.Args})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Atom) UnmarshalJSON(data []byte) error {
+	var aj atomJSON
+	if err := json.Unmarshal(data, &aj); err != nil {
+		return err
+	}
+	if aj.Pred == "" {
+		return fmt.Errorf("logic: atom with empty predicate")
+	}
+	a.Pred, a.Args = aj.Pred, aj.Args
+	return nil
+}
+
+type literalJSON struct {
+	Atom    Atom `json:"atom"`
+	Negated bool `json:"negated,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l Literal) MarshalJSON() ([]byte, error) {
+	return json.Marshal(literalJSON{Atom: l.Atom, Negated: l.Negated})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Literal) UnmarshalJSON(data []byte) error {
+	var lj literalJSON
+	if err := json.Unmarshal(data, &lj); err != nil {
+		return err
+	}
+	l.Atom, l.Negated = lj.Atom, lj.Negated
+	return nil
+}
+
+type cqJSON struct {
+	HeadPred string    `json:"head"`
+	HeadArgs []Term    `json:"headArgs,omitempty"`
+	Body     []Literal `json:"body,omitempty"`
+	False    bool      `json:"false,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (q CQ) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cqJSON{HeadPred: q.HeadPred, HeadArgs: q.HeadArgs, Body: q.Body, False: q.False})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded rule is
+// validated (range restriction, false-rule shape).
+func (q *CQ) UnmarshalJSON(data []byte) error {
+	var qj cqJSON
+	if err := json.Unmarshal(data, &qj); err != nil {
+		return err
+	}
+	out := CQ{HeadPred: qj.HeadPred, HeadArgs: qj.HeadArgs, Body: qj.Body, False: qj.False}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*q = out
+	return nil
+}
+
+type ucqJSON struct {
+	Rules []CQ `json:"rules"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (u UCQ) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ucqJSON{Rules: u.Rules})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded union is
+// validated (common heads).
+func (u *UCQ) UnmarshalJSON(data []byte) error {
+	var uj ucqJSON
+	if err := json.Unmarshal(data, &uj); err != nil {
+		return err
+	}
+	out := UCQ{Rules: uj.Rules}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*u = out
+	return nil
+}

@@ -1,0 +1,76 @@
+package logic
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTermJSONRoundTrip(t *testing.T) {
+	for _, term := range []Term{Var("x"), Const("a"), Const(""), Const("with \"quotes\""), Null} {
+		data, err := json.Marshal(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Term
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != term {
+			t.Errorf("round trip %v → %s → %v", term, data, back)
+		}
+	}
+}
+
+func TestTermJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"kind":"wat"}`,
+		`{"kind":"var"}`,
+		`[1,2]`,
+	}
+	for _, src := range bad {
+		var term Term
+		if err := json.Unmarshal([]byte(src), &term); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", src)
+		}
+	}
+}
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	u := Union(ex1(), FalseQuery("Q", []Term{Var("i"), Var("a"), Var("t")}))
+	data, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UCQ
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if !u.Equal(back) {
+		t.Errorf("round trip changed query:\n%s\nvs\n%s", u, back)
+	}
+	// Spot-check the wire shape.
+	s := string(data)
+	for _, want := range []string{`"head":"Q"`, `"negated":true`, `"kind":"var"`, `"false":true`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire form missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQueryJSONValidates(t *testing.T) {
+	// A head variable missing from the body must be rejected on decode.
+	src := `{"rules":[{"head":"Q","headArgs":[{"kind":"var","name":"x"}],"body":[{"atom":{"pred":"R","args":[{"kind":"var","name":"y"}]}}]}]}`
+	var u UCQ
+	if err := json.Unmarshal([]byte(src), &u); err == nil {
+		t.Error("non-range-restricted rule must be rejected")
+	}
+	var q CQ
+	if err := json.Unmarshal([]byte(`{"head":""}`), &q); err == nil {
+		t.Error("empty head must be rejected")
+	}
+	var a Atom
+	if err := json.Unmarshal([]byte(`{"pred":""}`), &a); err == nil {
+		t.Error("empty predicate must be rejected")
+	}
+}

@@ -1,0 +1,208 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// ex1 is Example 1 of the paper:
+// Q(i, a, t) :- B(i, a, t), C(i, a), not L(i)
+func ex1() CQ {
+	return CQ{
+		HeadPred: "Q",
+		HeadArgs: []Term{Var("i"), Var("a"), Var("t")},
+		Body: []Literal{
+			Pos(NewAtom("B", Var("i"), Var("a"), Var("t"))),
+			Pos(NewAtom("C", Var("i"), Var("a"))),
+			Neg(NewAtom("L", Var("i"))),
+		},
+	}
+}
+
+func TestCQVarsAndParts(t *testing.T) {
+	q := ex1()
+	if got := q.FreeVars(); len(got) != 3 {
+		t.Fatalf("FreeVars() = %v, want 3 vars", got)
+	}
+	if got := q.Vars(); len(got) != 3 {
+		t.Fatalf("Vars() = %v, want 3 vars", got)
+	}
+	if got := len(q.Positive()); got != 2 {
+		t.Errorf("len(Positive()) = %d, want 2", got)
+	}
+	if got := len(q.Negative()); got != 1 {
+		t.Errorf("len(Negative()) = %d, want 1", got)
+	}
+	pp := q.PositivePart()
+	if len(pp.Body) != 2 || pp.Body[0].Negated || pp.Body[1].Negated {
+		t.Errorf("PositivePart() = %v", pp)
+	}
+}
+
+func TestCQSafety(t *testing.T) {
+	tests := []struct {
+		name string
+		q    CQ
+		safe bool
+	}{
+		{"paper example 1 is safe", ex1(), true},
+		{
+			"head var not in positive body is unsafe",
+			CQ{HeadPred: "Q", HeadArgs: []Term{Var("x"), Var("y")},
+				Body: []Literal{Pos(NewAtom("R", Var("x")))}},
+			false,
+		},
+		{
+			"var only in negative literal is unsafe",
+			CQ{HeadPred: "Q", HeadArgs: []Term{Var("x")},
+				Body: []Literal{Pos(NewAtom("R", Var("x"))), Neg(NewAtom("S", Var("z")))}},
+			false,
+		},
+		{
+			"false query is safe",
+			FalseQuery("Q", []Term{Var("x")}),
+			true,
+		},
+		{
+			"constants in head are fine",
+			CQ{HeadPred: "Q", HeadArgs: []Term{Const("c")},
+				Body: []Literal{Pos(NewAtom("R", Var("x")))}},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.Safe(); got != tt.safe {
+				t.Errorf("Safe() = %v, want %v for %s", got, tt.safe, tt.q)
+			}
+		})
+	}
+}
+
+func TestCQString(t *testing.T) {
+	q := ex1()
+	want := "Q(i, a, t) :- B(i, a, t), C(i, a), not L(i)"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	f := FalseQuery("Q", []Term{Var("x")})
+	if got := f.String(); got != "Q(x) :- false" {
+		t.Errorf("false String() = %q", got)
+	}
+	tr := CQ{HeadPred: "Q"}
+	if got := tr.String(); got != "Q() :- true" {
+		t.Errorf("true String() = %q", got)
+	}
+}
+
+func TestCQEqualAsSet(t *testing.T) {
+	q := ex1()
+	r := q.Clone()
+	// Reverse the body.
+	for i, j := 0, len(r.Body)-1; i < j; i, j = i+1, j-1 {
+		r.Body[i], r.Body[j] = r.Body[j], r.Body[i]
+	}
+	if q.Equal(r) {
+		t.Error("Equal must be order-sensitive")
+	}
+	if !q.EqualAsSet(r) {
+		t.Error("EqualAsSet must be order-insensitive")
+	}
+	r.Body[0] = Pos(NewAtom("Z", Var("i")))
+	if q.EqualAsSet(r) {
+		t.Error("EqualAsSet must detect differing literals")
+	}
+}
+
+func TestUCQValidate(t *testing.T) {
+	q := ex1()
+	u := Union(q, q)
+	if err := u.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	bad := q.Clone()
+	bad.HeadArgs = []Term{Var("i"), Var("a")}
+	if err := Union(q, bad).Validate(); err == nil {
+		t.Error("Validate() must reject differing head arities")
+	}
+	bad2 := q.Clone()
+	bad2.HeadArgs = []Term{Var("a"), Var("i"), Var("t")}
+	if err := Union(q, bad2).Validate(); err == nil {
+		t.Error("Validate() must reject differing head variables")
+	}
+}
+
+func TestUCQDropFalseRules(t *testing.T) {
+	u := Union(ex1(), FalseQuery("Q", []Term{Var("i"), Var("a"), Var("t")}))
+	d := u.DropFalseRules()
+	if len(d.Rules) != 1 {
+		t.Fatalf("DropFalseRules() kept %d rules, want 1", len(d.Rules))
+	}
+	if u2 := Union(FalseQuery("Q", nil)); !u2.IsFalse() {
+		t.Error("union of false rules must be false")
+	}
+}
+
+func TestSubstApply(t *testing.T) {
+	s := Subst{"x": Const("a"), "z": Var("w")}
+	q := CQ{
+		HeadPred: "Q", HeadArgs: []Term{Var("x"), Var("y")},
+		Body: []Literal{
+			Pos(NewAtom("R", Var("x"), Var("z"))),
+			Neg(NewAtom("S", Var("z"))),
+		},
+	}
+	r := s.CQ(q)
+	if r.HeadArgs[0] != Const("a") || r.HeadArgs[1] != Var("y") {
+		t.Errorf("head after subst = %v", r.HeadArgs)
+	}
+	if r.Body[0].Atom.Args[1] != Var("w") || r.Body[1].Atom.Args[0] != Var("w") {
+		t.Errorf("body after subst = %v", r.Body)
+	}
+	// Original untouched.
+	if q.Body[0].Atom.Args[0] != Var("x") {
+		t.Error("substitution must not mutate its input")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	q := ex1()
+	taken := map[string]bool{"i": true, "t": true}
+	r, s := RenameApart(q, taken)
+	if len(s) != 2 {
+		t.Fatalf("expected 2 renamings, got %v", s)
+	}
+	for _, v := range r.Vars() {
+		if v.Name == "i" || v.Name == "t" {
+			t.Errorf("renamed query still uses taken name %s", v.Name)
+		}
+	}
+	if _, ok := s["a"]; ok {
+		t.Error("non-colliding variable must not be renamed")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	q := ex1()
+	f, s := Freeze(q)
+	if len(s) != 3 {
+		t.Fatalf("Freeze returned %d bindings, want 3", len(s))
+	}
+	for _, l := range f.Body {
+		for _, a := range l.Atom.Args {
+			if a.IsVar() {
+				t.Fatalf("frozen query still contains variable %v", a)
+			}
+		}
+	}
+	if !strings.Contains(s["i"].Name, "i") {
+		t.Errorf("frozen constant for i should mention i: %v", s["i"])
+	}
+}
+
+func TestSubstString(t *testing.T) {
+	s := Subst{"y": Var("w"), "x": Const("a")}
+	if got, want := s.String(), `{x/"a", y/w}`; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

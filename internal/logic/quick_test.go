@@ -1,0 +1,179 @@
+package logic_test
+
+// Property-based tests (testing/quick) on the logical core, using a
+// quick.Generator that produces arbitrary safe CQ¬ queries. The external
+// test package lets us round-trip through the parser without an import
+// cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// genCQ wraps a random safe query for quick.
+type genCQ struct {
+	Q logic.CQ
+}
+
+// Generate implements quick.Generator: random positive literals over a
+// small vocabulary, then negatives and a head drawn from the positive
+// variables, so the query is safe.
+func (genCQ) Generate(r *rand.Rand, size int) reflect.Value {
+	nPos := 1 + r.Intn(3)
+	nNeg := r.Intn(2)
+	var body []logic.Literal
+	var posVars []logic.Term
+	seen := map[string]bool{}
+	term := func() logic.Term {
+		if r.Intn(10) == 0 {
+			return logic.Const(fmt.Sprintf("c%d", r.Intn(3)))
+		}
+		return logic.Var(fmt.Sprintf("v%d", r.Intn(4)))
+	}
+	for i := 0; i < nPos; i++ {
+		ar := 1 + r.Intn(2)
+		args := make([]logic.Term, ar)
+		for j := range args {
+			args[j] = term()
+			if args[j].IsVar() && !seen[args[j].Name] {
+				seen[args[j].Name] = true
+				posVars = append(posVars, args[j])
+			}
+		}
+		body = append(body, logic.Pos(logic.NewAtom(fmt.Sprintf("R%d", r.Intn(3)), args...)))
+	}
+	for i := 0; i < nNeg && len(posVars) > 0; i++ {
+		ar := 1 + r.Intn(2)
+		args := make([]logic.Term, ar)
+		for j := range args {
+			args[j] = posVars[r.Intn(len(posVars))]
+		}
+		body = append(body, logic.Neg(logic.NewAtom(fmt.Sprintf("R%d", r.Intn(3)), args...)))
+	}
+	var head []logic.Term
+	if len(posVars) > 0 {
+		head = append(head, posVars[r.Intn(len(posVars))])
+	}
+	return reflect.ValueOf(genCQ{Q: logic.CQ{HeadPred: "Q", HeadArgs: head, Body: body}})
+}
+
+func qc(t *testing.T, f any) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeneratedQueriesAreSafe(t *testing.T) {
+	qc(t, func(g genCQ) bool { return g.Q.Safe() && g.Q.Validate() == nil })
+}
+
+func TestQuickCloneIsDeepAndEqual(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		c := g.Q.Clone()
+		if !c.Equal(g.Q) {
+			return false
+		}
+		// Mutate the clone everywhere; the original must be unchanged.
+		for i := range c.Body {
+			c.Body[i].Atom.Pred = "MUTATED"
+			for j := range c.Body[i].Atom.Args {
+				c.Body[i].Atom.Args[j] = logic.Const("zzz")
+			}
+		}
+		if len(c.HeadArgs) > 0 {
+			c.HeadArgs[0] = logic.Const("zzz")
+		}
+		orig := g.Q
+		for _, l := range orig.Body {
+			if l.Atom.Pred == "MUTATED" {
+				return false
+			}
+			for _, a := range l.Atom.Args {
+				if a == logic.Const("zzz") {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestQuickEqualAsSetUnderPermutation(t *testing.T) {
+	qc(t, func(g genCQ, seed int64) bool {
+		perm := g.Q.Clone()
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(perm.Body), func(i, j int) {
+			perm.Body[i], perm.Body[j] = perm.Body[j], perm.Body[i]
+		})
+		return g.Q.EqualAsSet(perm)
+	})
+}
+
+func TestQuickParserRoundTrip(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		r, err := parser.ParseCQ(g.Q.String())
+		if err != nil {
+			t.Logf("reparse error on %s: %v", g.Q, err)
+			return false
+		}
+		return r.Equal(g.Q)
+	})
+}
+
+func TestQuickFreezeGrounds(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		f, s := logic.Freeze(g.Q)
+		if len(s) != len(g.Q.Vars()) {
+			return false
+		}
+		for _, l := range f.Body {
+			for _, a := range l.Atom.Args {
+				if a.IsVar() {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestQuickRenameApartAvoidsTaken(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		taken := map[string]bool{"v0": true, "v2": true}
+		r, _ := logic.RenameApart(g.Q, taken)
+		for _, v := range r.Vars() {
+			if taken[v.Name] {
+				return false
+			}
+		}
+		// Renaming is a bijection on variables: the query shape is
+		// preserved (same number of vars, literals, and head arity).
+		return len(r.Vars()) == len(g.Q.Vars()) &&
+			len(r.Body) == len(g.Q.Body) &&
+			len(r.HeadArgs) == len(g.Q.HeadArgs)
+	})
+}
+
+func TestQuickSubstComposition(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		// Applying {v0/c0} then {v1/c1} equals applying the merged map
+		// when domains and ranges are disjoint from each other.
+		s1 := logic.Subst{"v0": logic.Const("c0")}
+		s2 := logic.Subst{"v1": logic.Const("c1")}
+		merged := logic.Subst{"v0": logic.Const("c0"), "v1": logic.Const("c1")}
+		return s2.CQ(s1.CQ(g.Q)).Equal(merged.CQ(g.Q))
+	})
+}
+
+func TestQuickPositiveNegativeSplit(t *testing.T) {
+	qc(t, func(g genCQ) bool {
+		return len(g.Q.Positive())+len(g.Q.Negative()) == len(g.Q.Body)
+	})
+}

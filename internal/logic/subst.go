@@ -1,0 +1,143 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution from variable names to terms. Applying a
+// substitution never changes constants or null.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return Subst{} }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind returns a copy of s with v bound to t.
+func (s Subst) Bind(v string, t Term) Subst {
+	out := s.Clone()
+	out[v] = t
+	return out
+}
+
+// Term applies the substitution to a single term.
+func (s Subst) Term(t Term) Term {
+	if t.IsVar() {
+		if u, ok := s[t.Name]; ok {
+			return u
+		}
+	}
+	return t
+}
+
+// Atom applies the substitution to an atom.
+func (s Subst) Atom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Term(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Literal applies the substitution to a literal.
+func (s Subst) Literal(l Literal) Literal {
+	return Literal{Atom: s.Atom(l.Atom), Negated: l.Negated}
+}
+
+// CQ applies the substitution to every head argument and body literal.
+func (s Subst) CQ(q CQ) CQ {
+	head := make([]Term, len(q.HeadArgs))
+	for i, t := range q.HeadArgs {
+		head[i] = s.Term(t)
+	}
+	body := make([]Literal, len(q.Body))
+	for i, l := range q.Body {
+		body[i] = s.Literal(l)
+	}
+	return CQ{HeadPred: q.HeadPred, HeadArgs: head, Body: body, False: q.False}
+}
+
+// UCQ applies the substitution to every rule.
+func (s Subst) UCQ(u UCQ) UCQ {
+	rules := make([]CQ, len(u.Rules))
+	for i, r := range u.Rules {
+		rules[i] = s.CQ(r)
+	}
+	return UCQ{Rules: rules}
+}
+
+// String renders the substitution deterministically, e.g. {x/a, y/b}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s/%s", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// RenameApart returns a copy of q whose variables are renamed so that they
+// are disjoint from the variable names in taken. Fresh names are built by
+// appending a numeric suffix. The returned substitution maps old names to
+// the fresh variables.
+func RenameApart(q CQ, taken map[string]bool) (CQ, Subst) {
+	s := NewSubst()
+	used := map[string]bool{}
+	for k := range taken {
+		used[k] = true
+	}
+	for _, v := range q.Vars() {
+		if !used[v.Name] {
+			used[v.Name] = true
+			continue
+		}
+		n := 1
+		fresh := fmt.Sprintf("%s_%d", v.Name, n)
+		for used[fresh] {
+			n++
+			fresh = fmt.Sprintf("%s_%d", v.Name, n)
+		}
+		used[fresh] = true
+		s[v.Name] = Var(fresh)
+	}
+	return s.CQ(q), s
+}
+
+// Freeze returns the frozen query [Q]: a substitution mapping each
+// variable of q to a fresh constant, together with the frozen body. The
+// frozen positive part [Q⁺] is a Herbrand model of Q⁺ (Proposition 8 of
+// the paper uses this construction).
+func Freeze(q CQ) (CQ, Subst) {
+	s := NewSubst()
+	for i, v := range q.Vars() {
+		s[v.Name] = Const(fmt.Sprintf("§%s_%d", v.Name, i))
+	}
+	return s.CQ(q), s
+}
+
+// VarNames returns the set of variable names of q.
+func VarNames(q CQ) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range q.Vars() {
+		out[v.Name] = true
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package logic defines the logical core used throughout the library:
+// terms, atoms, literals, conjunctive queries with negation (CQ¬) and
+// unions of conjunctive queries with negation (UCQ¬) in Datalog rule form,
+// together with substitutions, safety checking, and canonical printing.
+//
+// The representation follows Section 2 of Nash & Ludäscher, "Processing
+// Unions of Conjunctive Queries with Negation under Limited Access
+// Patterns" (EDBT 2004). Queries are treated as immutable values: every
+// algorithm that needs to change a query clones it first.
+package logic
+
+import "strings"
+
+// Kind classifies a Term.
+type Kind uint8
+
+const (
+	// KindVar is a variable. Variables are written in lowercase in the
+	// paper; here any name is allowed and the Kind field is authoritative.
+	KindVar Kind = iota
+	// KindConst is a constant.
+	KindConst
+	// KindNull is the distinguished null value used in overestimate plans
+	// (Section 4.1 of the paper) for head variables whose value cannot be
+	// retrieved under the given access patterns.
+	KindNull
+)
+
+// Term is a variable, a constant, or the distinguished null.
+// The zero value is the variable with the empty name, which is invalid;
+// use Var, Const, or Null to construct terms.
+type Term struct {
+	Name string
+	Kind Kind
+}
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{Name: name, Kind: KindVar} }
+
+// Const returns a constant term with the given name.
+func Const(name string) Term { return Term{Name: name, Kind: KindConst} }
+
+// Null is the distinguished null term.
+var Null = Term{Name: "null", Kind: KindNull}
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == KindVar }
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t.Kind == KindConst }
+
+// IsNull reports whether t is the null term.
+func (t Term) IsNull() bool { return t.Kind == KindNull }
+
+// String renders the term. Constants are double-quoted with the minimal
+// escaping the parser's lexer understands (backslash, quote, newline,
+// carriage return, tab); all other bytes are printed raw, so printing
+// and parsing round-trip arbitrary constant values.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindNull:
+		return "null"
+	case KindConst:
+		return quoteConst(t.Name)
+	default:
+		return t.Name
+	}
+}
+
+// quoteConst renders a constant in double quotes with minimal escapes.
+func quoteConst(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

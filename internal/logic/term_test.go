@@ -1,0 +1,80 @@
+package logic
+
+import "testing"
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name    string
+		term    Term
+		isVar   bool
+		isConst bool
+		isNull  bool
+		str     string
+	}{
+		{"variable", Var("x"), true, false, false, "x"},
+		{"constant", Const("a"), false, true, false, `"a"`},
+		{"null", Null, false, false, true, "null"},
+		{"uppercase variable allowed", Var("X1"), true, false, false, "X1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.term.IsVar(); got != tt.isVar {
+				t.Errorf("IsVar() = %v, want %v", got, tt.isVar)
+			}
+			if got := tt.term.IsConst(); got != tt.isConst {
+				t.Errorf("IsConst() = %v, want %v", got, tt.isConst)
+			}
+			if got := tt.term.IsNull(); got != tt.isNull {
+				t.Errorf("IsNull() = %v, want %v", got, tt.isNull)
+			}
+			if got := tt.term.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestTermEquality(t *testing.T) {
+	if Var("x") != Var("x") {
+		t.Error("equal variables must compare equal")
+	}
+	if Var("x") == Const("x") {
+		t.Error("variable and constant with same name must differ")
+	}
+	if Var("null") == Null {
+		t.Error("variable named null must differ from the null term")
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("R", Var("x"), Const("c"), Var("x"), Var("y"))
+	if a.Arity() != 4 {
+		t.Fatalf("Arity() = %d, want 4", a.Arity())
+	}
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != Var("x") || vars[1] != Var("y") {
+		t.Errorf("Vars() = %v, want [x y] in first-occurrence order", vars)
+	}
+	if got, want := a.String(), `R(x, "c", x, y)`; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	b := a.Clone()
+	b.Args[0] = Var("z")
+	if a.Args[0] != Var("x") {
+		t.Error("Clone must not share argument storage")
+	}
+}
+
+func TestLiteralComplement(t *testing.T) {
+	l := Pos(NewAtom("R", Var("x")))
+	c := l.Complement()
+	if !c.Negated || !c.Atom.Equal(l.Atom) {
+		t.Errorf("Complement() = %v", c)
+	}
+	if !c.Complement().Equal(l) {
+		t.Error("double complement must be identity")
+	}
+	if got, want := Neg(NewAtom("S", Var("z"))).String(), "not S(z)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

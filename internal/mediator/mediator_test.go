@@ -1,0 +1,224 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+func views(t *testing.T, defs ...string) *Views {
+	t.Helper()
+	v := NewViews()
+	for _, d := range defs {
+		if err := v.Add(parser.MustUCQ(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+func TestAddValidation(t *testing.T) {
+	v := NewViews()
+	if err := v.Add(parser.MustUCQ(`G(x) :- S(x).`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Add(parser.MustUCQ(`G(x) :- T(x).`)); err == nil {
+		t.Error("duplicate view must be rejected")
+	}
+	// Negation in a definition is allowed (it can be inlined positively).
+	if err := v.Add(parser.MustUCQ(`H(x) :- S(x), not T(x).`)); err != nil {
+		t.Errorf("negation in a view definition must be accepted: %v", err)
+	}
+	// ... but referencing such a view under negation is not expressible.
+	if _, err := v.Unfold(parser.MustUCQ(`Q(a) :- S(a), not H(a).`)); err == nil {
+		t.Error("negated reference to a negation-bearing view must be rejected")
+	}
+	// Positive references splice the body, negation included.
+	u, err := v.Unfold(parser.MustUCQ(`Q(a) :- H(a).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Rules[0].String(); got != "Q(a) :- S(a), not T(a)" {
+		t.Errorf("positive inlining of negation-bearing view = %q", got)
+	}
+	if err := v.Add(parser.MustUCQ(`K(x, x) :- S(x, x).`)); err == nil {
+		t.Error("repeated head variable must be rejected")
+	}
+	if !v.Defined("G") || !v.Defined("H") || v.Defined("K") {
+		t.Error("Defined lookup wrong")
+	}
+	if got := v.Globals(); len(got) != 2 || got[0] != "G" || got[1] != "H" {
+		t.Errorf("Globals = %v", got)
+	}
+}
+
+func TestUnfoldPositiveSingle(t *testing.T) {
+	v := views(t, `G(x, y) :- S(x, z), T(z, y).`)
+	q := parser.MustUCQ(`Q(a) :- G(a, b), U(b).`)
+	u, err := v.Unfold(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 1 {
+		t.Fatalf("unfolded = %s", u)
+	}
+	got := u.Rules[0].String()
+	want := "Q(a) :- S(a, z), T(z, b), U(b)"
+	if got != want {
+		t.Errorf("unfolded = %q, want %q", got, want)
+	}
+}
+
+func TestUnfoldUnionCrossProduct(t *testing.T) {
+	v := views(t, "G(x) :- S1(x).\nG(x) :- S2(x).")
+	q := parser.MustUCQ(`Q(a) :- G(a), G(a).`)
+	u, err := v.Unfold(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 4 {
+		t.Fatalf("cross product must give 4 rules, got %d:\n%s", len(u.Rules), u)
+	}
+}
+
+func TestUnfoldRenamesApart(t *testing.T) {
+	// The definition uses variable z; so does the query. They must not
+	// be conflated.
+	v := views(t, `G(x) :- S(x, z).`)
+	q := parser.MustUCQ(`Q(a) :- G(a), T(z), U(z).`)
+	u, err := v.Unfold(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := u.Rules[0].String()
+	if strings.Count(body, "S(a, z)") > 0 && strings.Contains(body, "T(z)") {
+		// S's z must have been renamed; seeing both means capture.
+		t.Errorf("variable capture in unfolding: %s", body)
+	}
+}
+
+func TestUnfoldNegatedSimpleUnion(t *testing.T) {
+	v := views(t, "G(x) :- S1(x).\nG(x) :- S2(x).")
+	q := parser.MustUCQ(`Q(a) :- T(a), not G(a).`)
+	u, err := v.Unfold(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := u.Rules[0].String()
+	want := "Q(a) :- T(a), not S1(a), not S2(a)"
+	if got != want {
+		t.Errorf("unfolded = %q, want %q", got, want)
+	}
+}
+
+func TestUnfoldNegatedRejectsExistentials(t *testing.T) {
+	v := views(t, `G(x) :- S(x, z).`)
+	q := parser.MustUCQ(`Q(a) :- T(a), not G(a).`)
+	if _, err := v.Unfold(q); err == nil {
+		t.Error("negated view with existential variable must be rejected")
+	}
+	v2 := views(t, `H(x) :- S1(x), S2(x).`)
+	q2 := parser.MustUCQ(`Q(a) :- T(a), not H(a).`)
+	if _, err := v2.Unfold(q2); err == nil {
+		t.Error("negated view with a join must be rejected")
+	}
+}
+
+func TestUnfoldConstantsInCall(t *testing.T) {
+	v := views(t, `G(x, y) :- S(x, y).`)
+	q := parser.MustUCQ(`Q(a) :- G(a, "fixed").`)
+	u, err := v.Unfold(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := u.Rules[0].String(), `Q(a) :- S(a, "fixed")`; got != want {
+		t.Errorf("unfolded = %q, want %q", got, want)
+	}
+}
+
+func TestUnfoldArityMismatch(t *testing.T) {
+	v := views(t, `G(x, y) :- S(x, y).`)
+	q := parser.MustUCQ(`Q(a) :- G(a), T(a).`)
+	if _, err := v.Unfold(q); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+// Semantics: evaluating the unfolded query over the sources equals
+// evaluating the original query over the materialized global relations.
+func TestUnfoldingSemantics(t *testing.T) {
+	v := views(t,
+		"G(x, y) :- S(x, z), T(z, y).\nG(x, y) :- D(x, y).",
+		"M(x) :- S(x, x).",
+	)
+	queries := []string{
+		`Q(a, b) :- G(a, b).`,
+		`Q(a) :- G(a, b), M(b).`,
+		"Q(a) :- G(a, b), not M(b).\nQ(a) :- M(a), G(a, a).",
+		`Q(a) :- M(a), U(a).`,
+	}
+	g := workload.New(9)
+	s := workload.Schema{Relations: []workload.RelDef{
+		{Name: "S", Arity: 2}, {Name: "T", Arity: 2}, {Name: "D", Arity: 2}, {Name: "U", Arity: 1},
+	}}
+	for trial := 0; trial < 20; trial++ {
+		src := engine.NewInstance()
+		if err := src.LoadFacts(g.Facts(s, 10, 5)); err != nil {
+			t.Fatal(err)
+		}
+		// Materialize the global relations.
+		global := engine.NewInstance()
+		for _, rel := range []string{"S", "T", "D", "U"} {
+			for _, row := range src.Rows(rel) {
+				global.MustAdd(rel, row...)
+			}
+		}
+		for _, name := range v.Globals() {
+			rel, err := engine.AnswerNaive(v.defs[name], src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range rel.Rows() {
+				vals := make([]string, len(row))
+				for i, val := range row {
+					vals[i] = val.S
+				}
+				global.MustAdd(name, vals...)
+			}
+		}
+		for _, qs := range queries {
+			q := parser.MustUCQ(qs)
+			unfolded, err := v.Unfold(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overSources, err := engine.AnswerNaive(unfolded, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overGlobal, err := engine.AnswerNaive(q, global)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !overSources.Equal(overGlobal) {
+				t.Fatalf("unfolding changed semantics for %q\nunfolded: %s\nsources:  %s\nglobal:   %s",
+					qs, unfolded, overSources, overGlobal)
+			}
+		}
+	}
+}
+
+func TestUnfoldFalseRulePassesThrough(t *testing.T) {
+	v := views(t, `G(x) :- S(x).`)
+	u, err := v.Unfold(logic.Union(logic.FalseQuery("Q", []logic.Term{logic.Var("x")})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 1 || !u.Rules[0].False {
+		t.Errorf("unfolded = %s", u)
+	}
+}

@@ -1,0 +1,84 @@
+// Package minimize implements query minimization: computing the core of
+// a conjunctive query (the unique minimal equivalent subquery, up to
+// isomorphism) and removing redundant disjuncts from unions. The
+// Li–Chang baseline algorithms CQstable and UCQstable (Section 5.3–5.4 of
+// the paper) minimize before testing orderability; this package supplies
+// that step. Minimization is sound for CQ¬/UCQ¬ as well, because every
+// removal is verified by a full equivalence check.
+package minimize
+
+import (
+	"repro/internal/containment"
+	"repro/internal/logic"
+)
+
+// CQ returns a minimal query equivalent to q: no body literal can be
+// removed without changing the query's meaning. For negation-free q this
+// is the core of q. Removal candidates that would leave a head variable
+// uncovered are skipped (the result must stay range-restricted).
+func CQ(q logic.CQ) logic.CQ {
+	if q.False || !containment.Satisfiable(q) {
+		return logic.FalseQuery(q.HeadPred, q.HeadArgs)
+	}
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := range cur.Body {
+			cand := without(cur, i)
+			if !cand.HeadSafe() {
+				continue
+			}
+			if len(cand.Body) == 0 && len(cand.HeadArgs) > 0 {
+				continue
+			}
+			if equivalentCQ(cand, cur) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// without returns cur with body literal i removed.
+func without(cur logic.CQ, i int) logic.CQ {
+	out := logic.CQ{HeadPred: cur.HeadPred, HeadArgs: append([]logic.Term(nil), cur.HeadArgs...)}
+	for j, l := range cur.Body {
+		if j != i {
+			out.Body = append(out.Body, l.Clone())
+		}
+	}
+	return out
+}
+
+func equivalentCQ(a, b logic.CQ) bool {
+	return containment.ContainedCQ(a, b) && containment.ContainedCQ(b, a)
+}
+
+// UCQ returns a minimal union equivalent to u: each rule is minimized,
+// then rules contained in the union of the others are removed (so the
+// result has no redundant disjunct).
+func UCQ(u logic.UCQ) logic.UCQ {
+	rules := make([]logic.CQ, 0, len(u.Rules))
+	for _, r := range u.Rules {
+		m := CQ(r)
+		if m.False {
+			continue
+		}
+		rules = append(rules, m)
+	}
+	// Drop duplicate and redundant disjuncts, scanning greedily.
+	for i := 0; i < len(rules); {
+		rest := logic.UCQ{Rules: append(append([]logic.CQ(nil), rules[:i]...), rules[i+1:]...)}
+		if len(rest.Rules) > 0 && containment.Contained(rules[i], rest) {
+			rules = rest.Rules
+			i = 0 // containments may newly hold; restart scan
+			continue
+		}
+		i++
+	}
+	return logic.UCQ{Rules: rules}
+}

@@ -1,0 +1,124 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMustHelpersPanic(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic on bad input", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("MustUCQ", func() { MustUCQ("garbage") })
+	assertPanics("MustCQ", func() { MustCQ("garbage") })
+	assertPanics("MustPatterns", func() { MustPatterns("B^zz") })
+	assertPanics("MustFacts", func() { MustFacts("R(x).") })
+	assertPanics("MustRules", func() { MustRules("") })
+}
+
+func TestMustHelpersSucceed(t *testing.T) {
+	if q := MustCQ(`Q(x) :- R(x).`); q.HeadPred != "Q" {
+		t.Error("MustCQ broken")
+	}
+	if u := MustUCQ(`Q(x) :- R(x).`); len(u.Rules) != 1 {
+		t.Error("MustUCQ broken")
+	}
+	if s := MustPatterns(`R^o`); !s.Has("R") {
+		t.Error("MustPatterns broken")
+	}
+	if f := MustFacts(`R("a").`); len(f) != 1 {
+		t.Error("MustFacts broken")
+	}
+	if r := MustRules("A(x) :- E(x).\nB(x) :- F(x)."); len(r) != 2 {
+		t.Error("MustRules broken")
+	}
+}
+
+func TestParseCQRejectsMultipleRules(t *testing.T) {
+	if _, err := ParseCQ("Q(x) :- R(x).\nQ(x) :- S(x)."); err == nil {
+		t.Error("ParseCQ must reject multiple rules")
+	}
+}
+
+func TestParseRulesValidatesEachRule(t *testing.T) {
+	if _, err := ParseRules(`A(x, y) :- E(x).`); err == nil {
+		t.Error("non-range-restricted rule must be rejected")
+	}
+	rules, err := ParseRules("A(x) :- E(x).\nB(y) :- F(y, z).")
+	if err != nil || len(rules) != 2 {
+		t.Errorf("multi-head parse failed: %v %v", rules, err)
+	}
+}
+
+func TestLexerErrorMessages(t *testing.T) {
+	cases := map[string]string{
+		"Q(x) : R(x).":        "did you mean ':-'",
+		"Q(x) < R(x).":        "did you mean '<-'",
+		"Q(x) :- R(\"a\nb\")": "newline in string",
+		"Q(x) :- R(@).":       "unexpected character",
+	}
+	for src, want := range cases {
+		_, err := ParseUCQ(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseUCQ(%q) error = %v, want mention of %q", src, err, want)
+		}
+	}
+}
+
+func TestNumberLexing(t *testing.T) {
+	q, err := ParseCQ(`Q(x) :- R(x, 3.14, -7, 42).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := q.Body[0].Atom.Args
+	for i, want := range []string{"3.14", "-7", "42"} {
+		if args[i+1].Name != want || !args[i+1].IsConst() {
+			t.Errorf("arg %d = %v, want constant %q", i+1, args[i+1], want)
+		}
+	}
+	// A trailing period after a number terminates the rule, not the
+	// number.
+	q2, err := ParseCQ(`Q(x) :- R(x, 42).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Body[0].Atom.Args[1].Name != "42" {
+		t.Errorf("args = %v", q2.Body[0].Atom.Args)
+	}
+}
+
+func TestEscapeDecoding(t *testing.T) {
+	q, err := ParseCQ(`Q(x) :- R(x, "a\nb\tc\\d\"e").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Body[0].Atom.Args[1].Name, "a\nb\tc\\d\"e"; got != want {
+		t.Errorf("decoded = %q, want %q", got, want)
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	q, err := ParseCQ(`Qé(α) :- Rβ(α).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HeadPred != "Qé" || q.Body[0].Atom.Args[0].Name != "α" {
+		t.Errorf("unicode parse = %v", q)
+	}
+}
+
+func TestZeroArityAtom(t *testing.T) {
+	q, err := ParseCQ(`Q() :- Flag().`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Body[0].Atom.Arity() != 0 {
+		t.Errorf("zero-arity atom = %v", q.Body[0])
+	}
+}

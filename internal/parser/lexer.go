@@ -1,0 +1,221 @@
+// Package parser implements the textual surface syntax of the library:
+// Datalog-style rules for CQ¬/UCQ¬ queries, access-pattern declarations
+// (B^ioo), and database instances as lists of ground facts.
+//
+// Syntax summary:
+//
+//	Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).   # a rule; "<-" also works
+//	Q(x)       :- false.                            # the empty query
+//	B^ioo  B^oio  C^oo  L^o                         # access patterns
+//	B("0471", "knuth", "taocp").                    # a fact
+//
+// In argument position, bare identifiers are variables, quoted strings and
+// numbers are constants, and the keyword null is the distinguished null.
+// Comments run from '#' or '%' to end of line.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokCaret
+	tokArrow // :- or <-
+	tokPeriod
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokCaret:
+		return "'^'"
+	case tokArrow:
+		return "':-'"
+	case tokPeriod:
+		return "'.'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	off    int
+	line   int
+	tokens []token
+}
+
+// lex tokenizes src, returning an error with line information on the
+// first malformed token.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, t)
+		if t.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '#' || c == '%':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: l.off, line: l.line}, nil
+	}
+	start, line := l.off, l.line
+	c := l.src[l.off]
+	switch {
+	case c == '(':
+		l.off++
+		return token{tokLParen, "(", start, line}, nil
+	case c == ')':
+		l.off++
+		return token{tokRParen, ")", start, line}, nil
+	case c == ',':
+		l.off++
+		return token{tokComma, ",", start, line}, nil
+	case c == '^':
+		l.off++
+		return token{tokCaret, "^", start, line}, nil
+	case c == '.':
+		l.off++
+		return token{tokPeriod, ".", start, line}, nil
+	case c == ':':
+		if strings.HasPrefix(l.src[l.off:], ":-") {
+			l.off += 2
+			return token{tokArrow, ":-", start, line}, nil
+		}
+		return token{}, l.errf("unexpected ':'; did you mean ':-'?")
+	case c == '<':
+		if strings.HasPrefix(l.src[l.off:], "<-") {
+			l.off += 2
+			return token{tokArrow, "<-", start, line}, nil
+		}
+		return token{}, l.errf("unexpected '<'; did you mean '<-'?")
+	case c == '"' || c == '\'':
+		quote := c
+		l.off++
+		var b strings.Builder
+		for l.off < len(l.src) {
+			d := l.src[l.off]
+			if d == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			if d == '\\' && l.off+1 < len(l.src) {
+				esc := l.src[l.off+1]
+				l.off += 2
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(esc)
+				}
+				continue
+			}
+			if d == quote {
+				l.off++
+				return token{tokString, b.String(), start, line}, nil
+			}
+			b.WriteByte(d)
+			l.off++
+		}
+		return token{}, l.errf("unterminated string literal")
+	case c >= '0' && c <= '9' || c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9':
+		end := l.off + 1
+		for end < len(l.src) && (l.src[end] >= '0' && l.src[end] <= '9' || l.src[end] == '.') {
+			// Don't swallow a rule-terminating period: only accept '.'
+			// when followed by a digit.
+			if l.src[end] == '.' && (end+1 >= len(l.src) || l.src[end+1] < '0' || l.src[end+1] > '9') {
+				break
+			}
+			end++
+		}
+		text := l.src[l.off:end]
+		l.off = end
+		return token{tokNumber, text, start, line}, nil
+	default:
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentStart(r) {
+			return token{}, l.errf("unexpected character %q", r)
+		}
+		end := l.off + size
+		for end < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[end:])
+			if !isIdentPart(r) {
+				break
+			}
+			end += size
+		}
+		text := l.src[l.off:end]
+		l.off = end
+		return token{tokIdent, text, start, line}, nil
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

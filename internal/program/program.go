@@ -1,0 +1,233 @@
+// Package program implements nonrecursive Datalog¬ programs: a set of
+// rules defining intensional (IDB) predicates over source (EDB)
+// relations and over each other, without recursion. A program compiles
+// any IDB predicate to a UCQ¬ over the EDB relations by repeated
+// unfolding — the multi-level generalization of the GAV view layer
+// (internal/mediator), matching how real mediator hierarchies stack
+// integrated views on integrated views. The compiled UCQ¬ then flows
+// through the paper's planning pipeline unchanged.
+//
+// Negated IDB literals are expressible in UCQ¬ only when the negated
+// predicate's definition unfolds to a union of single positive EDB atoms
+// without existential variables (¬(A ∨ B) = ¬A ∧ ¬B); otherwise
+// compilation reports an error, as in the mediator package.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/mediator"
+)
+
+// Program is a set of nonrecursive Datalog¬ rules.
+type Program struct {
+	rules []logic.CQ
+	heads map[string]bool
+}
+
+// New returns an empty program.
+func New() *Program { return &Program{heads: map[string]bool{}} }
+
+// Add appends one rule. Rules defining the same head predicate are
+// disjuncts of its definition. The rule must be range-restricted.
+func (p *Program) Add(r logic.CQ) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("program: %w", err)
+	}
+	if existing := p.defOf(r.HeadPred); len(existing) > 0 {
+		if len(existing[0].HeadArgs) != len(r.HeadArgs) {
+			return fmt.Errorf("program: %s defined with arities %d and %d",
+				r.HeadPred, len(existing[0].HeadArgs), len(r.HeadArgs))
+		}
+	}
+	p.rules = append(p.rules, r.Clone())
+	p.heads[r.HeadPred] = true
+	return nil
+}
+
+// Parse adds all rules from the source text.
+func (p *Program) Parse(src string, parse func(string) (logic.UCQ, error)) error {
+	u, err := parse(src)
+	if err != nil {
+		return err
+	}
+	for _, r := range u.Rules {
+		if err := p.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAll adds every rule of the union, which — unlike ParseUCQ input —
+// may define several predicates when called repeatedly.
+func (p *Program) AddAll(u logic.UCQ) error {
+	for _, r := range u.Rules {
+		if err := p.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IDB reports whether the predicate is defined by the program.
+func (p *Program) IDB(pred string) bool { return p.heads[pred] }
+
+// Predicates returns the defined predicate names, sorted.
+func (p *Program) Predicates() []string {
+	out := make([]string, 0, len(p.heads))
+	for h := range p.heads {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Program) defOf(pred string) []logic.CQ {
+	var out []logic.CQ
+	for _, r := range p.rules {
+		if r.HeadPred == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CheckNonrecursive verifies that the dependency graph of IDB predicates
+// is acyclic and returns a topological order (used-before-user). It is
+// called by Compile; exposed for diagnostics.
+func (p *Program) CheckNonrecursive() ([]string, error) {
+	deps := map[string]map[string]bool{}
+	for _, r := range p.rules {
+		if deps[r.HeadPred] == nil {
+			deps[r.HeadPred] = map[string]bool{}
+		}
+		for _, l := range r.Body {
+			if p.heads[l.Atom.Pred] {
+				deps[r.HeadPred][l.Atom.Pred] = true
+			}
+		}
+	}
+	var order []string
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(h string) error {
+		switch state[h] {
+		case 1:
+			return fmt.Errorf("program: recursion through %s", h)
+		case 2:
+			return nil
+		}
+		state[h] = 1
+		var next []string
+		for d := range deps[h] {
+			next = append(next, d)
+		}
+		sort.Strings(next)
+		for _, d := range next {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[h] = 2
+		order = append(order, h)
+		return nil
+	}
+	for _, h := range p.Predicates() {
+		if err := visit(h); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Compile expands the definition of pred into a UCQ¬ over EDB relations
+// only, by unfolding IDB predicates in dependency order through the
+// mediator's view-unfolding machinery.
+func (p *Program) Compile(pred string) (logic.UCQ, error) {
+	if !p.heads[pred] {
+		return logic.UCQ{}, fmt.Errorf("program: %s is not defined", pred)
+	}
+	order, err := p.CheckNonrecursive()
+	if err != nil {
+		return logic.UCQ{}, err
+	}
+	// Build fully-EDB view definitions bottom-up: when a predicate's
+	// turn comes, everything it uses already has an EDB-only definition.
+	views := mediator.NewViews()
+	compiled := map[string]logic.UCQ{}
+	regErr := map[string]error{}
+	for _, h := range order {
+		def := logic.UCQ{Rules: p.defOf(h)}
+		// A predicate whose compiled definition could not become a view
+		// must not be silently treated as EDB by the unfolding.
+		for _, r := range def.Rules {
+			for _, l := range r.Body {
+				if err := regErr[l.Atom.Pred]; err != nil {
+					return logic.UCQ{}, fmt.Errorf("program: %s uses %s: %w", h, l.Atom.Pred, err)
+				}
+			}
+		}
+		flat, err := views.Unfold(def)
+		if err != nil {
+			return logic.UCQ{}, fmt.Errorf("program: compiling %s: %w", h, err)
+		}
+		compiled[h] = flat
+		if err := views.Add(normalizeHead(flat)); err != nil {
+			// The predicate is still usable as a final result; only
+			// later references to it are impossible.
+			regErr[h] = err
+		}
+	}
+	return compiled[pred], nil
+}
+
+// normalizeHead rewrites the union so every rule's head is a tuple of
+// distinct fresh variables (the form mediator.Views requires), renaming
+// rule-locally. Head constants and repeated head variables become
+// explicit body equalities via variable substitution — since bodies are
+// over EDB atoms, a repeated variable is planted at both positions.
+func normalizeHead(u logic.UCQ) logic.UCQ {
+	out := u.Clone()
+	for i := range out.Rules {
+		out.Rules[i] = normalizeRuleHead(out.Rules[i])
+	}
+	return out
+}
+
+func normalizeRuleHead(r logic.CQ) logic.CQ {
+	headNames := make([]string, len(r.HeadArgs))
+	for j := range r.HeadArgs {
+		headNames[j] = fmt.Sprintf("ĥ%d", j)
+	}
+	// Only heads that are tuples of distinct variables can be renamed
+	// soundly without equality atoms. Constant or repeated head terms
+	// are left unchanged; Views.Add then rejects them with a clear
+	// message (they would need an equality predicate to express).
+	seen := map[string]int{}
+	sub := logic.NewSubst()
+	conforming := true
+	for j, t := range r.HeadArgs {
+		if !t.IsVar() {
+			conforming = false
+			break
+		}
+		if _, dup := seen[t.Name]; dup {
+			conforming = false
+			break
+		}
+		seen[t.Name] = j
+		sub[t.Name] = logic.Var(headNames[j])
+	}
+	if !conforming {
+		// Leave as-is; Views.Add will reject and surface a clear error.
+		return r
+	}
+	out := sub.CQ(r)
+	for j := range out.HeadArgs {
+		out.HeadArgs[j] = logic.Var(headNames[j])
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package services models web service operations the way Section 1 of
+// the paper does: an operation op: x₁…xₙ → y₁…yₘ has an input message
+// with n parts and an output message with m parts, and "a family of web
+// service operations over k attributes can be concisely described as a
+// relation R(a₁,…,aₖ) with an associated set of access patterns". A
+// Registry collects operation descriptions, validates that operations on
+// the same relation agree on its attributes, and derives the access.Set
+// that the planning algorithms consume — making queries declarative
+// specifications for web service composition.
+package services
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+)
+
+// Operation describes one web service operation over a backing relation.
+type Operation struct {
+	// Name is the operation name, e.g. "getBooksByAuthor".
+	Name string
+	// Relation is the backing relation, e.g. "B".
+	Relation string
+	// Attributes names the relation's columns in order,
+	// e.g. isbn, author, title.
+	Attributes []string
+	// Inputs lists the attributes the caller must supply (the input
+	// message parts); the rest are outputs.
+	Inputs []string
+}
+
+// Pattern derives the access pattern of the operation: 'i' at input
+// attributes, 'o' elsewhere.
+func (o Operation) Pattern() (access.Pattern, error) {
+	if len(o.Attributes) == 0 {
+		return "", fmt.Errorf("services: operation %s has no attributes", o.Name)
+	}
+	pos := map[string]int{}
+	for i, a := range o.Attributes {
+		if _, dup := pos[a]; dup {
+			return "", fmt.Errorf("services: operation %s repeats attribute %s", o.Name, a)
+		}
+		pos[a] = i
+	}
+	word := []byte(strings.Repeat("o", len(o.Attributes)))
+	for _, in := range o.Inputs {
+		j, ok := pos[in]
+		if !ok {
+			return "", fmt.Errorf("services: operation %s declares unknown input attribute %s", o.Name, in)
+		}
+		word[j] = 'i'
+	}
+	return access.Pattern(word), nil
+}
+
+// Signature renders the operation as the paper writes it, e.g.
+// getBooksByAuthor: author -> {(isbn, title)}.
+func (o Operation) Signature() string {
+	var outs []string
+	inSet := map[string]bool{}
+	for _, in := range o.Inputs {
+		inSet[in] = true
+	}
+	for _, a := range o.Attributes {
+		if !inSet[a] {
+			outs = append(outs, a)
+		}
+	}
+	return fmt.Sprintf("%s: %s -> {(%s)}", o.Name, strings.Join(o.Inputs, ", "), strings.Join(outs, ", "))
+}
+
+// Registry is a set of operation descriptions.
+type Registry struct {
+	ops    []Operation
+	schema map[string][]string // relation → attributes
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{schema: map[string][]string{}} }
+
+// Register validates and adds an operation. Operations backing the same
+// relation must declare identical attribute lists.
+func (r *Registry) Register(op Operation) error {
+	if op.Name == "" || op.Relation == "" {
+		return fmt.Errorf("services: operation needs a name and a relation")
+	}
+	if _, err := op.Pattern(); err != nil {
+		return err
+	}
+	if attrs, ok := r.schema[op.Relation]; ok {
+		if len(attrs) != len(op.Attributes) {
+			return fmt.Errorf("services: relation %s declared with %d attributes, operation %s uses %d",
+				op.Relation, len(attrs), op.Name, len(op.Attributes))
+		}
+		for i := range attrs {
+			if attrs[i] != op.Attributes[i] {
+				return fmt.Errorf("services: relation %s attribute %d is %s, operation %s says %s",
+					op.Relation, i+1, attrs[i], op.Name, op.Attributes[i])
+			}
+		}
+	} else {
+		r.schema[op.Relation] = append([]string(nil), op.Attributes...)
+	}
+	for _, existing := range r.ops {
+		if existing.Name == op.Name {
+			return fmt.Errorf("services: duplicate operation name %s", op.Name)
+		}
+	}
+	r.ops = append(r.ops, op)
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(op Operation) *Registry {
+	if err := r.Register(op); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// PatternSet derives the access patterns of all registered operations.
+func (r *Registry) PatternSet() (*access.Set, error) {
+	set := access.NewSet()
+	for _, op := range r.ops {
+		p, err := op.Pattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := set.Add(op.Relation, p); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Operations returns the operations backing the relation, in
+// registration order; with an empty name, all operations.
+func (r *Registry) Operations(relation string) []Operation {
+	var out []Operation
+	for _, op := range r.ops {
+		if relation == "" || op.Relation == relation {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Attributes returns the attribute names of the relation, or nil.
+func (r *Registry) Attributes(relation string) []string {
+	return append([]string(nil), r.schema[relation]...)
+}
+
+// Relations returns the backed relation names, sorted.
+func (r *Registry) Relations() []string {
+	out := make([]string, 0, len(r.schema))
+	for name := range r.schema {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OperationFor returns a registered operation of the relation whose
+// pattern equals p, for reporting which operation a plan step invokes.
+func (r *Registry) OperationFor(relation string, p access.Pattern) (Operation, bool) {
+	for _, op := range r.ops {
+		if op.Relation != relation {
+			continue
+		}
+		q, err := op.Pattern()
+		if err == nil && q == p {
+			return op, true
+		}
+	}
+	return Operation{}, false
+}

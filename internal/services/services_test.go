@@ -1,0 +1,105 @@
+package services
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+// The paper's Section 1 example: op_B: author → {(isbn, title)} becomes
+// B^oio.
+func bookOps(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	ops := []Operation{
+		{Name: "getByISBN", Relation: "B", Attributes: []string{"isbn", "author", "title"}, Inputs: []string{"isbn"}},
+		{Name: "getByAuthor", Relation: "B", Attributes: []string{"isbn", "author", "title"}, Inputs: []string{"author"}},
+		{Name: "scanCatalog", Relation: "C", Attributes: []string{"isbn", "author"}},
+		{Name: "inLibrary", Relation: "L", Attributes: []string{"isbn"}, Inputs: []string{"isbn"}},
+	}
+	for _, op := range ops {
+		if err := r.Register(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestOperationPattern(t *testing.T) {
+	op := Operation{Name: "getByAuthor", Relation: "B",
+		Attributes: []string{"isbn", "author", "title"}, Inputs: []string{"author"}}
+	p, err := op.Pattern()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != "oio" {
+		t.Errorf("Pattern = %s, want oio", p)
+	}
+	if got, want := op.Signature(), "getByAuthor: author -> {(isbn, title)}"; got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+}
+
+func TestOperationValidation(t *testing.T) {
+	bad := []Operation{
+		{Name: "x", Relation: "R"},
+		{Name: "x", Relation: "R", Attributes: []string{"a", "a"}},
+		{Name: "x", Relation: "R", Attributes: []string{"a"}, Inputs: []string{"nope"}},
+	}
+	for _, op := range bad {
+		if _, err := op.Pattern(); err == nil {
+			t.Errorf("Pattern for %+v succeeded, want error", op)
+		}
+	}
+}
+
+func TestRegistryPatternSet(t *testing.T) {
+	r := bookOps(t)
+	ps, err := r.PatternSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the pattern set of Example 1, with L^i instead of L^o.
+	if got, want := ps.String(), "B^ioo B^oio C^oo L^i"; got != want {
+		t.Errorf("PatternSet = %q, want %q", got, want)
+	}
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	r := bookOps(t)
+	if err := r.Register(Operation{Name: "getByISBN", Relation: "X", Attributes: []string{"a"}}); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if err := r.Register(Operation{Name: "bad1", Relation: "B", Attributes: []string{"isbn", "author"}, Inputs: []string{"isbn"}}); err == nil {
+		t.Error("attribute count mismatch must be rejected")
+	}
+	if err := r.Register(Operation{Name: "bad2", Relation: "B", Attributes: []string{"isbn", "title", "author"}, Inputs: []string{"isbn"}}); err == nil {
+		t.Error("attribute order mismatch must be rejected")
+	}
+	if err := r.Register(Operation{Name: "", Relation: "B"}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	r := bookOps(t)
+	if got := r.Relations(); len(got) != 3 || got[0] != "B" {
+		t.Errorf("Relations = %v", got)
+	}
+	if got := r.Operations("B"); len(got) != 2 {
+		t.Errorf("Operations(B) = %v", got)
+	}
+	if got := r.Operations(""); len(got) != 4 {
+		t.Errorf("Operations() = %v", got)
+	}
+	if got := r.Attributes("C"); len(got) != 2 || got[1] != "author" {
+		t.Errorf("Attributes(C) = %v", got)
+	}
+	op, ok := r.OperationFor("B", access.MustPattern("oio"))
+	if !ok || op.Name != "getByAuthor" {
+		t.Errorf("OperationFor(B, oio) = %+v %v", op, ok)
+	}
+	if _, ok := r.OperationFor("B", access.MustPattern("ooo")); ok {
+		t.Error("unregistered pattern must not resolve")
+	}
+}

@@ -1,0 +1,98 @@
+package sources
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+)
+
+// Cached wraps a Source with a call cache: repeated calls with the same
+// pattern and inputs are served locally. Mediator plans join through
+// remote services, so the same lookup is often issued once per binding;
+// caching converts that to one remote call. The wrapper is safe for
+// concurrent use and exposes hit/miss counters.
+type Cached struct {
+	inner Source
+
+	mu     sync.Mutex
+	cache  map[string][]Tuple
+	hits   int
+	misses int
+}
+
+// NewCached wraps src with a cache.
+func NewCached(src Source) *Cached {
+	return &Cached{inner: src, cache: map[string][]Tuple{}}
+}
+
+// Name implements Source.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Arity implements Source.
+func (c *Cached) Arity() int { return c.inner.Arity() }
+
+// Patterns implements Source.
+func (c *Cached) Patterns() []access.Pattern { return c.inner.Patterns() }
+
+// Call implements Source, consulting the cache first. Errors are not
+// cached (a bad pattern stays an error on every call).
+func (c *Cached) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	key := string(p) + "\x00" + strings.Join(inputs, "\x1f")
+	c.mu.Lock()
+	if rows, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return copyTuples(rows), nil
+	}
+	c.mu.Unlock()
+	rows, err := c.inner.Call(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	c.cache[key] = copyTuples(rows)
+	c.mu.Unlock()
+	return rows, nil
+}
+
+func copyTuples(rows []Tuple) []Tuple {
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = append(Tuple(nil), r...)
+	}
+	return out
+}
+
+// HitsMisses returns the cache counters.
+func (c *Cached) HitsMisses() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset clears the cache and counters (call after the underlying data
+// changes).
+func (c *Cached) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = map[string][]Tuple{}
+	c.hits, c.misses = 0, 0
+}
+
+// CachedCatalog wraps every source of a catalog with a cache.
+func CachedCatalog(cat *Catalog) (*Catalog, []*Cached, error) {
+	var wrapped []Source
+	var caches []*Cached
+	for _, name := range cat.Names() {
+		c := NewCached(cat.Source(name))
+		wrapped = append(wrapped, c)
+		caches = append(caches, c)
+	}
+	out, err := NewCatalog(wrapped...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, caches, nil
+}

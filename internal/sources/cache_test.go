@@ -1,0 +1,101 @@
+package sources
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestCachedServesRepeats(t *testing.T) {
+	b := bookTable(t)
+	c := NewCached(b)
+	if c.Name() != "B" || c.Arity() != 3 || len(c.Patterns()) != 2 {
+		t.Error("wrapper must forward metadata")
+	}
+	for i := 0; i < 5; i++ {
+		rows, err := c.Call("oio", []string{"knuth"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("rows = %v", rows)
+		}
+	}
+	hits, misses := c.HitsMisses()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	if st := b.StatsSnapshot(); st.Calls != 1 {
+		t.Errorf("inner source called %d times, want 1", st.Calls)
+	}
+}
+
+func TestCachedReturnsCopies(t *testing.T) {
+	c := NewCached(bookTable(t))
+	rows, err := c.Call("ioo", []string{"i1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows[0][1] = "mangled"
+	rows2, _ := c.Call("ioo", []string{"i1"})
+	if rows2[0][1] != "knuth" {
+		t.Error("cache must not leak shared tuple storage")
+	}
+}
+
+func TestCachedErrorsNotCached(t *testing.T) {
+	c := NewCached(bookTable(t))
+	if _, err := c.Call("ooo", nil); err == nil {
+		t.Fatal("bad pattern must error")
+	}
+	if _, err := c.Call("ooo", nil); err == nil {
+		t.Fatal("bad pattern must keep erroring")
+	}
+	if hits, misses := c.HitsMisses(); hits != 0 || misses != 0 {
+		t.Errorf("errors must not touch counters: %d/%d", hits, misses)
+	}
+}
+
+func TestCachedReset(t *testing.T) {
+	c := NewCached(bookTable(t))
+	if _, err := c.Call("ioo", []string{"i1"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := c.Call("ioo", []string{"i1"}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.HitsMisses(); hits != 0 || misses != 1 {
+		t.Errorf("after reset: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCachedCatalog(t *testing.T) {
+	b := bookTable(t)
+	l := MustTable("L", 1, []access.Pattern{"o"}, []Tuple{{"i3"}})
+	cat := MustCatalog(b, l)
+	wrapped, caches, err := CachedCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caches) != 2 {
+		t.Fatalf("caches = %d", len(caches))
+	}
+	if _, err := wrapped.Source("B").Call("ioo", []string{"i1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.Source("B").Call("ioo", []string{"i1"}); err != nil {
+		t.Fatal(err)
+	}
+	var totalHits int
+	for _, c := range caches {
+		h, _ := c.HitsMisses()
+		totalHits += h
+	}
+	if totalHits != 1 {
+		t.Errorf("total hits = %d, want 1", totalHits)
+	}
+	if got := wrapped.PatternSet().String(); got != "B^ioo B^oio L^o" {
+		t.Errorf("PatternSet through wrapper = %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package sources simulates relations exposed as web-service-style
+// sources with limited access patterns (Section 1 of the paper models a
+// web service operation as a relation with an access pattern). A source
+// can only be called by supplying values for every input slot of one of
+// its declared patterns; the call returns the matching tuples. Each
+// source meters its traffic (calls made, tuples returned), which the
+// benchmark harness reports as the cost of a plan.
+//
+// This package substitutes for the distributed sources of the paper's
+// BIRN mediator deployment: the paper's algorithms interact with sources
+// only through the access-pattern contract, which is enforced here at the
+// call boundary.
+package sources
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+)
+
+// Tuple is a row of constant values.
+type Tuple []string
+
+// Key encodes the tuple for use as a map key.
+func (t Tuple) Key() string { return strings.Join(t, "\x1f") }
+
+// Source is a callable relation with limited access patterns.
+type Source interface {
+	// Name returns the relation name.
+	Name() string
+	// Arity returns the relation arity.
+	Arity() int
+	// Patterns returns the declared access patterns.
+	Patterns() []access.Pattern
+	// Call invokes the source through pattern p, supplying inputs for the
+	// input slots of p in slot order. It returns all matching tuples
+	// (full rows, including the input positions). Calling with a pattern
+	// not declared for the source, or with the wrong number of inputs,
+	// is an error: that is exactly the restriction the paper studies.
+	Call(p access.Pattern, inputs []string) ([]Tuple, error)
+}
+
+// Stats is a source's traffic accounting.
+type Stats struct {
+	Calls          int // number of Call invocations
+	TuplesReturned int // total tuples transferred
+}
+
+// Table is an in-memory Source over a fixed set of tuples, with one hash
+// index per declared pattern. It is safe for concurrent use.
+type Table struct {
+	name     string
+	arity    int
+	patterns []access.Pattern
+
+	mu     sync.Mutex
+	rows   []Tuple
+	index  map[access.Pattern]map[string][]Tuple
+	stats  Stats
+	OnCall func(p access.Pattern, inputs []string) // optional test/benchmark hook
+}
+
+// NewTable builds a table source. Every tuple must have the table's
+// arity, and every pattern must match it.
+func NewTable(name string, arity int, patterns []access.Pattern, rows []Tuple) (*Table, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("sources: table %s declared with no access pattern", name)
+	}
+	for _, p := range patterns {
+		if p.Arity() != arity {
+			return nil, fmt.Errorf("sources: table %s has arity %d but pattern %s has arity %d", name, arity, p, p.Arity())
+		}
+	}
+	t := &Table{name: name, arity: arity, patterns: append([]access.Pattern(nil), patterns...)}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if len(r) != arity {
+			return nil, fmt.Errorf("sources: table %s tuple %v has %d values, want %d", name, r, len(r), arity)
+		}
+		k := r.Key()
+		if seen[k] {
+			continue // set semantics
+		}
+		seen[k] = true
+		t.rows = append(t.rows, append(Tuple(nil), r...))
+	}
+	t.buildIndexes()
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error; for tests and fixtures.
+func MustTable(name string, arity int, patterns []access.Pattern, rows []Tuple) *Table {
+	t, err := NewTable(name, arity, patterns, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table) buildIndexes() {
+	t.index = map[access.Pattern]map[string][]Tuple{}
+	for _, p := range t.patterns {
+		idx := map[string][]Tuple{}
+		for _, r := range t.rows {
+			k := inputKey(p, r)
+			idx[k] = append(idx[k], r)
+		}
+		t.index[p] = idx
+	}
+}
+
+// inputKey extracts the input-slot values of row r under pattern p.
+func inputKey(p access.Pattern, r Tuple) string {
+	var parts []string
+	for j := 0; j < p.Arity(); j++ {
+		if p.Input(j) {
+			parts = append(parts, r[j])
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Name implements Source.
+func (t *Table) Name() string { return t.name }
+
+// Arity implements Source.
+func (t *Table) Arity() int { return t.arity }
+
+// Patterns implements Source.
+func (t *Table) Patterns() []access.Pattern {
+	return append([]access.Pattern(nil), t.patterns...)
+}
+
+// Call implements Source, enforcing the access-pattern contract.
+func (t *Table) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	idx, ok := t.index[p]
+	if !ok {
+		return nil, fmt.Errorf("sources: table %s does not support pattern %s (has %v)", t.name, p, t.patterns)
+	}
+	if len(inputs) != p.InputCount() {
+		return nil, fmt.Errorf("sources: call to %s^%s with %d inputs, want %d", t.name, p, len(inputs), p.InputCount())
+	}
+	t.mu.Lock()
+	t.stats.Calls++
+	rows := idx[strings.Join(inputs, "\x1f")]
+	t.stats.TuplesReturned += len(rows)
+	hook := t.OnCall
+	t.mu.Unlock()
+	if hook != nil {
+		hook(p, inputs)
+	}
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = append(Tuple(nil), r...)
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the source's traffic counters.
+func (t *Table) StatsSnapshot() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (t *Table) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = Stats{}
+}
+
+// Rows returns a copy of all tuples (for ground-truth evaluation in
+// tests; real limited sources would not expose this).
+func (t *Table) Rows() []Tuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Tuple, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append(Tuple(nil), r...)
+	}
+	return out
+}
+
+// Catalog is a set of sources addressable by relation name.
+type Catalog struct {
+	byName map[string]Source
+}
+
+// NewCatalog builds a catalog from sources; duplicate names are an error.
+func NewCatalog(srcs ...Source) (*Catalog, error) {
+	c := &Catalog{byName: map[string]Source{}}
+	for _, s := range srcs {
+		if _, dup := c.byName[s.Name()]; dup {
+			return nil, fmt.Errorf("sources: duplicate source %s", s.Name())
+		}
+		c.byName[s.Name()] = s
+	}
+	return c, nil
+}
+
+// MustCatalog is NewCatalog that panics on error.
+func MustCatalog(srcs ...Source) *Catalog {
+	c, err := NewCatalog(srcs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Source returns the source for the relation, or nil.
+func (c *Catalog) Source(name string) Source { return c.byName[name] }
+
+// Names returns the catalog's relation names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PatternSet derives the access.Set the catalog's sources declare.
+func (c *Catalog) PatternSet() *access.Set {
+	set := access.NewSet()
+	for _, s := range c.byName {
+		for _, p := range s.Patterns() {
+			// Arities are validated by the sources themselves.
+			_ = set.Add(s.Name(), p)
+		}
+	}
+	return set
+}
+
+// TotalStats sums the traffic of all Table sources in the catalog.
+func (c *Catalog) TotalStats() Stats {
+	var total Stats
+	for _, s := range c.byName {
+		if t, ok := s.(*Table); ok {
+			st := t.StatsSnapshot()
+			total.Calls += st.Calls
+			total.TuplesReturned += st.TuplesReturned
+		}
+	}
+	return total
+}
+
+// ResetStats zeroes the traffic of all Table sources in the catalog.
+func (c *Catalog) ResetStats() {
+	for _, s := range c.byName {
+		if t, ok := s.(*Table); ok {
+			t.ResetStats()
+		}
+	}
+}

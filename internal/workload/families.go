@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+)
+
+// ChainQuery builds Q(x0, xn) :- R1(x0, x1), …, Rn(x{n-1}, xn) with
+// patterns Ri^io, and R1 additionally ^oo. Written in this order the
+// query is executable; Reversed scrambles it so that ANSWERABLE needs
+// its full quadratic behaviour to reorder (one literal is recovered per
+// round). This is the scaling family for experiments E1 and E2.
+func ChainQuery(n int) (logic.CQ, *access.Set) {
+	ps := access.NewSet()
+	q := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{logic.Var("x0"), logic.Var(fmt.Sprintf("x%d", n))}}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("R%d", i)
+		_ = ps.Add(name, "io")
+		q.Body = append(q.Body, logic.Pos(logic.NewAtom(name,
+			logic.Var(fmt.Sprintf("x%d", i-1)), logic.Var(fmt.Sprintf("x%d", i)))))
+	}
+	_ = ps.Add("R1", "oo")
+	return q, ps
+}
+
+// Reversed returns the query with its body literal order reversed.
+func Reversed(q logic.CQ) logic.CQ {
+	out := q.Clone()
+	for i, j := 0, len(out.Body)-1; i < j; i, j = i+1, j-1 {
+		out.Body[i], out.Body[j] = out.Body[j], out.Body[i]
+	}
+	return out
+}
+
+// StarQuery builds Q(x) :- R1(x, y1), …, Rn(x, yn), not S(x) with
+// patterns Ri^io (plus R1^oo) and S^i: executable as written once x is
+// bound. Used for fan-out-shaped plans in the benchmarks.
+func StarQuery(n int) (logic.CQ, *access.Set) {
+	ps := access.NewSet()
+	q := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{logic.Var("x")}}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("R%d", i)
+		_ = ps.Add(name, "io")
+		q.Body = append(q.Body, logic.Pos(logic.NewAtom(name,
+			logic.Var("x"), logic.Var(fmt.Sprintf("y%d", i)))))
+	}
+	_ = ps.Add("R1", "oo")
+	_ = ps.Add("S", "i")
+	q.Body = append(q.Body, logic.Neg(logic.NewAtom("S", logic.Var("x"))))
+	return q, ps
+}
+
+// CaseSplitFamily builds the hard instance family for experiment E3:
+//
+//	P(x) :- R(x), B(y)                          (infeasible part, B^i)
+//	Q(x) :- R(x), not S1(x), …, not Sn(x)
+//	Q(x) :- R(x), S1(x)
+//	…
+//	Q(x) :- R(x), Sn(x)
+//
+// and the query under test is P ∨ Q-rules. ans of the first rule is
+// R(x), so FEASIBLE must decide R(x) ⊑ Q, which forces the Wei–Lausen
+// recursion to expand every negative literal: the containment tree grows
+// with n, exhibiting the Π₂ᴾ-hard behaviour. The query is feasible
+// (the case split covers R(x)).
+func CaseSplitFamily(n int) (logic.UCQ, *access.Set) {
+	ps := access.NewSet()
+	_ = ps.Add("R", "o")
+	_ = ps.Add("B", "i")
+	x := logic.Var("x")
+	r := logic.Pos(logic.NewAtom("R", x))
+
+	var rules []logic.CQ
+	// The infeasible rule whose answerable part is R(x).
+	rules = append(rules, logic.CQ{
+		HeadPred: "Q", HeadArgs: []logic.Term{x},
+		Body: []logic.Literal{r, logic.Pos(logic.NewAtom("B", logic.Var("y")))},
+	})
+	// The all-negative rule.
+	allNeg := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{x}, Body: []logic.Literal{r}}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("S%d", i)
+		_ = ps.Add(name, "i")
+		allNeg.Body = append(allNeg.Body, logic.Neg(logic.NewAtom(name, x)))
+	}
+	rules = append(rules, allNeg)
+	// One positive rule per Si.
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("S%d", i)
+		rules = append(rules, logic.CQ{
+			HeadPred: "Q", HeadArgs: []logic.Term{x},
+			Body: []logic.Literal{r, logic.Pos(logic.NewAtom(name, x))},
+		})
+	}
+	return logic.UCQ{Rules: rules}, ps
+}
+
+// EasyFamily is the polynomial counterpart of CaseSplitFamily for
+// experiment E3: same size, but every rule is fully answerable, so
+// FEASIBLE exits through the cheap Qᵘ = Qᵒ certificate.
+func EasyFamily(n int) (logic.UCQ, *access.Set) {
+	ps := access.NewSet()
+	_ = ps.Add("R", "o")
+	x := logic.Var("x")
+	r := logic.Pos(logic.NewAtom("R", x))
+	var rules []logic.CQ
+	allNeg := logic.CQ{HeadPred: "Q", HeadArgs: []logic.Term{x}, Body: []logic.Literal{r}}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("S%d", i)
+		_ = ps.Add(name, "i")
+		allNeg.Body = append(allNeg.Body, logic.Neg(logic.NewAtom(name, x)))
+	}
+	rules = append(rules, allNeg)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("S%d", i)
+		rules = append(rules, logic.CQ{
+			HeadPred: "Q", HeadArgs: []logic.Term{x},
+			Body: []logic.Literal{r, logic.Pos(logic.NewAtom(name, x))},
+		})
+	}
+	return logic.UCQ{Rules: rules}, ps
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// PaperExample is one worked example of the paper, with its expected
+// classification, used by tests and by cmd/paperbench.
+type PaperExample struct {
+	Name        string
+	Description string
+	Query       logic.UCQ
+	Patterns    *access.Set
+	// Expected properties (from the paper's prose).
+	Executable bool
+	Orderable  bool
+	Feasible   bool
+}
+
+// PaperExamples returns the paper's worked feasibility examples
+// (Examples 1, 3, 4, 9, 10; the remaining examples concern runtime
+// behaviour and are exercised by the engine tests and cmd/answer).
+func PaperExamples() []PaperExample {
+	return []PaperExample{
+		{
+			Name:        "example-1",
+			Description: "book store: executable after reordering (calling C first binds i and a)",
+			Query:       parser.MustUCQ(`Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).`),
+			Patterns:    parser.MustPatterns(`B^ioo B^oio C^oo L^o`),
+			Executable:  false,
+			Orderable:   true,
+			Feasible:    true,
+		},
+		{
+			Name:        "example-3",
+			Description: "feasible but not orderable: i' and a' cannot be bound, yet the union is equivalent to Q'(a) :- L(i), B(i,a,t)",
+			Query: parser.MustUCQ(`
+				Q(a) :- B(i, a, t), L(i), B(i', a', t).
+				Q(a) :- B(i, a, t), L(i), not B(i', a', t).
+			`),
+			Patterns:   parser.MustPatterns(`B^ioo B^oio L^o`),
+			Executable: false,
+			Orderable:  false,
+			Feasible:   true,
+		},
+		{
+			Name:        "example-4",
+			Description: "under/overestimate plans with a null head variable; infeasible because B^oi can never be called",
+			Query: parser.MustUCQ(`
+				Q(x, y) :- not S(z), R(x, z), B(x, y).
+				Q(x, y) :- T(x, y).
+			`),
+			Patterns:   parser.MustPatterns(`S^o R^oo B^oi T^oo`),
+			Executable: false,
+			Orderable:  false,
+			Feasible:   false,
+		},
+		{
+			Name:        "example-9",
+			Description: "CQ processing: ans(Q) = F(x), B(x), F(z) and the containment check decides feasibility",
+			Query:       parser.MustUCQ(`Q(x) :- F(x), B(x), B(y), F(z).`),
+			Patterns:    parser.MustPatterns(`F^o B^i`),
+			Executable:  false,
+			Orderable:   false,
+			Feasible:    true,
+		},
+		{
+			Name:        "example-10",
+			Description: "UCQ processing: the B(y) disjunct is absorbed by the F(x) disjunct",
+			Query: parser.MustUCQ(`
+				Q(x) :- F(x), G(x).
+				Q(x) :- F(x), H(x), B(y).
+				Q(x) :- F(x).
+			`),
+			Patterns:   parser.MustPatterns(`F^o G^o H^o B^i`),
+			Executable: false,
+			Orderable:  false,
+			Feasible:   true,
+		},
+	}
+}

@@ -1,0 +1,284 @@
+// Package workload generates schemas, access patterns, queries, and
+// database instances for property tests, experiments, and benchmarks.
+// All generation is driven by an explicit seed so every experiment is
+// reproducible. It also provides structured query families (chains,
+// stars, case splits) whose feasibility behaviour is known analytically,
+// and the paper's worked examples as named fixtures.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// Gen is a seeded generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// RelDef names a relation and its arity.
+type RelDef struct {
+	Name  string
+	Arity int
+}
+
+// Schema is a list of relations.
+type Schema struct {
+	Relations []RelDef
+}
+
+// Schema generates numRels relations R0…R{n-1} with arities drawn
+// uniformly from [minArity, maxArity].
+func (g *Gen) Schema(numRels, minArity, maxArity int) Schema {
+	s := Schema{}
+	for i := 0; i < numRels; i++ {
+		ar := minArity
+		if maxArity > minArity {
+			ar += g.rng.Intn(maxArity - minArity + 1)
+		}
+		s.Relations = append(s.Relations, RelDef{Name: fmt.Sprintf("R%d", i), Arity: ar})
+	}
+	return s
+}
+
+// Patterns draws patternsPerRel access patterns for every relation, each
+// slot independently being an input with probability inputProb. The
+// first relation always gets one all-output pattern so that generated
+// queries have at least one possible starting point (mirroring real
+// integration scenarios, which always have some scannable source).
+func (g *Gen) Patterns(s Schema, inputProb float64, patternsPerRel int) *access.Set {
+	set := access.NewSet()
+	for i, r := range s.Relations {
+		if i == 0 {
+			_ = set.Add(r.Name, access.AllOutputPattern(r.Arity))
+		}
+		for k := 0; k < patternsPerRel; k++ {
+			word := make([]byte, r.Arity)
+			for j := range word {
+				if g.rng.Float64() < inputProb {
+					word[j] = 'i'
+				} else {
+					word[j] = 'o'
+				}
+			}
+			_ = set.Add(r.Name, access.Pattern(word))
+		}
+	}
+	return set
+}
+
+// QueryConfig controls random query shape.
+type QueryConfig struct {
+	// PosLits and NegLits are the number of positive and negative body
+	// literals per rule.
+	PosLits, NegLits int
+	// VarPool is the number of distinct variable names drawn from.
+	VarPool int
+	// ConstProb is the probability that an argument position holds a
+	// constant instead of a variable.
+	ConstProb float64
+	// HeadVars is the number of distinguished variables.
+	HeadVars int
+	// DomainSize is the constant pool size used for ConstProb draws and
+	// by Facts.
+	DomainSize int
+}
+
+// DefaultQueryConfig is a reasonable medium-size configuration.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{PosLits: 4, NegLits: 1, VarPool: 6, ConstProb: 0.1, HeadVars: 2, DomainSize: 8}
+}
+
+func (g *Gen) constant(cfg QueryConfig) logic.Term {
+	return logic.Const(fmt.Sprintf("c%d", g.rng.Intn(max(1, cfg.DomainSize))))
+}
+
+// CQ generates a safe CQ¬ rule over the schema: positive literals are
+// drawn first; negative literals and the head use only variables that
+// occur positively, so the result is safe in the paper's strict sense.
+func (g *Gen) CQ(s Schema, cfg QueryConfig) logic.CQ {
+	return g.cqWithHead(s, cfg, nil)
+}
+
+// cqWithHead generates a rule; when head is non-nil the rule reuses
+// exactly those head variables (for union members sharing a head).
+func (g *Gen) cqWithHead(s Schema, cfg QueryConfig, head []logic.Term) logic.CQ {
+	pool := make([]string, max(1, cfg.VarPool))
+	for i := range pool {
+		pool[i] = fmt.Sprintf("v%d", i)
+	}
+	var body []logic.Literal
+	posVars := map[string]bool{}
+	var posVarList []string
+	for i := 0; i < max(1, cfg.PosLits); i++ {
+		r := s.Relations[g.rng.Intn(len(s.Relations))]
+		args := make([]logic.Term, r.Arity)
+		for j := range args {
+			if g.rng.Float64() < cfg.ConstProb {
+				args[j] = g.constant(cfg)
+				continue
+			}
+			name := pool[g.rng.Intn(len(pool))]
+			args[j] = logic.Var(name)
+			if !posVars[name] {
+				posVars[name] = true
+				posVarList = append(posVarList, name)
+			}
+		}
+		body = append(body, logic.Pos(logic.NewAtom(r.Name, args...)))
+	}
+
+	if head == nil {
+		k := min(max(0, cfg.HeadVars), len(posVarList))
+		head = make([]logic.Term, k)
+		perm := g.rng.Perm(len(posVarList))
+		for i := 0; i < k; i++ {
+			head[i] = logic.Var(posVarList[perm[i]])
+		}
+	} else {
+		// Force the shared head variables into positive literals, never
+		// overwriting a position that already holds a head variable
+		// (placing h1 must not evict h0).
+		isHead := map[string]bool{}
+		for _, h := range head {
+			if h.IsVar() {
+				isHead[h.Name] = true
+			}
+		}
+		for _, h := range head {
+			if !h.IsVar() || posVars[h.Name] {
+				continue
+			}
+			for tries := 0; tries < 100; tries++ {
+				li := g.rng.Intn(len(body))
+				if body[li].Negated || body[li].Atom.Arity() == 0 {
+					continue
+				}
+				aj := g.rng.Intn(body[li].Atom.Arity())
+				at := body[li].Atom.Args[aj]
+				if at.IsVar() && isHead[at.Name] {
+					continue
+				}
+				body[li].Atom.Args[aj] = h
+				posVars[h.Name] = true
+				break
+			}
+			if !posVars[h.Name] {
+				// Fall back to a dedicated unary-ish literal using the
+				// first relation.
+				r := s.Relations[0]
+				args := make([]logic.Term, r.Arity)
+				for j := range args {
+					args[j] = h
+				}
+				body = append(body, logic.Pos(logic.NewAtom(r.Name, args...)))
+				posVars[h.Name] = true
+			}
+		}
+	}
+
+	// Negative literals come last and draw only from variables with a
+	// positive occurrence (recomputed after head forcing), keeping the
+	// rule safe in the paper's strict sense.
+	posVarList = posVarList[:0]
+	posVars = map[string]bool{}
+	for _, l := range body {
+		for _, v := range l.Vars() {
+			if !posVars[v.Name] {
+				posVars[v.Name] = true
+				posVarList = append(posVarList, v.Name)
+			}
+		}
+	}
+	for i := 0; i < cfg.NegLits && len(posVarList) > 0; i++ {
+		r := s.Relations[g.rng.Intn(len(s.Relations))]
+		args := make([]logic.Term, r.Arity)
+		for j := range args {
+			if g.rng.Float64() < cfg.ConstProb {
+				args[j] = g.constant(cfg)
+				continue
+			}
+			args[j] = logic.Var(posVarList[g.rng.Intn(len(posVarList))])
+		}
+		body = append(body, logic.Neg(logic.NewAtom(r.Name, args...)))
+	}
+	return logic.CQ{HeadPred: "Q", HeadArgs: head, Body: body}
+}
+
+// UCQ generates a union of rules CQs sharing one head.
+func (g *Gen) UCQ(s Schema, rules int, cfg QueryConfig) logic.UCQ {
+	head := make([]logic.Term, max(0, cfg.HeadVars))
+	for i := range head {
+		head[i] = logic.Var(fmt.Sprintf("h%d", i))
+	}
+	var out []logic.CQ
+	for i := 0; i < max(1, rules); i++ {
+		out = append(out, g.cqWithHead(s, cfg, head))
+	}
+	return logic.UCQ{Rules: out}
+}
+
+// Facts generates tuplesPerRel random tuples per relation over a
+// constant domain c0…c{DomainSize-1}.
+func (g *Gen) Facts(s Schema, tuplesPerRel, domainSize int) []parser.Fact {
+	var out []parser.Fact
+	for _, r := range s.Relations {
+		for i := 0; i < tuplesPerRel; i++ {
+			args := make([]string, r.Arity)
+			for j := range args {
+				args[j] = fmt.Sprintf("c%d", g.rng.Intn(max(1, domainSize)))
+			}
+			out = append(out, parser.Fact{Pred: r.Name, Args: args})
+		}
+	}
+	return out
+}
+
+// FactsWithInclusion generates facts where every value in column fromCol
+// of relation from also appears in column toCol of relation to — the
+// foreign-key situation of Example 6 that makes infeasible plans
+// runtime-complete.
+func (g *Gen) FactsWithInclusion(s Schema, tuplesPerRel, domainSize int, from string, fromCol int, to string, toCol int) []parser.Fact {
+	facts := g.Facts(s, tuplesPerRel, domainSize)
+	var toArity int
+	for _, r := range s.Relations {
+		if r.Name == to {
+			toArity = r.Arity
+		}
+	}
+	for _, f := range facts {
+		if f.Pred != from {
+			continue
+		}
+		args := make([]string, toArity)
+		for j := range args {
+			args[j] = fmt.Sprintf("c%d", g.rng.Intn(max(1, domainSize)))
+		}
+		args[toCol] = f.Args[fromCol]
+		facts = append(facts, parser.Fact{Pred: to, Args: args})
+	}
+	return facts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/logic"
+)
+
+func TestGeneratedCQIsSafe(t *testing.T) {
+	g := New(1)
+	s := g.Schema(4, 1, 3)
+	cfg := DefaultQueryConfig()
+	for i := 0; i < 200; i++ {
+		q := g.CQ(s, cfg)
+		if !q.Safe() {
+			t.Fatalf("generated query %d is unsafe: %s", i, q)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("generated query %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratedUCQSharesHead(t *testing.T) {
+	g := New(2)
+	s := g.Schema(5, 1, 3)
+	cfg := DefaultQueryConfig()
+	for i := 0; i < 50; i++ {
+		u := g.UCQ(s, 3, cfg)
+		if err := u.Validate(); err != nil {
+			t.Fatalf("generated union %d invalid: %v\n%s", i, err, u)
+		}
+		for _, r := range u.Rules {
+			if !r.Safe() {
+				t.Fatalf("generated union rule unsafe: %s", r)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := New(7).UCQ(New(7).Schema(4, 1, 3), 3, DefaultQueryConfig())
+	b := New(7).UCQ(New(7).Schema(4, 1, 3), 3, DefaultQueryConfig())
+	if !a.Equal(b) {
+		t.Error("same seed must generate the same query")
+	}
+	c := New(8).UCQ(New(8).Schema(4, 1, 3), 3, DefaultQueryConfig())
+	if a.Equal(c) {
+		t.Error("different seeds should generate different queries")
+	}
+}
+
+func TestPatternsRespectArity(t *testing.T) {
+	g := New(3)
+	s := g.Schema(5, 1, 4)
+	ps := g.Patterns(s, 0.5, 2)
+	for _, r := range s.Relations {
+		if !ps.Has(r.Name) && r.Name != s.Relations[0].Name {
+			continue // relation may coincidentally have no pattern? Patterns adds per rel
+		}
+		for _, p := range ps.Patterns(r.Name) {
+			if p.Arity() != r.Arity {
+				t.Errorf("pattern %s^%s has wrong arity (relation arity %d)", r.Name, p, r.Arity)
+			}
+		}
+	}
+	// First relation must be scannable.
+	first := s.Relations[0]
+	found := false
+	for _, p := range ps.Patterns(first.Name) {
+		if p.AllOutput() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("first relation must have an all-output pattern")
+	}
+}
+
+func TestFactsMatchSchema(t *testing.T) {
+	g := New(4)
+	s := g.Schema(3, 2, 2)
+	facts := g.Facts(s, 10, 5)
+	if len(facts) != 30 {
+		t.Fatalf("got %d facts, want 30", len(facts))
+	}
+	in := engine.NewInstance()
+	if err := in.LoadFacts(facts); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Relations {
+		if in.Arity(r.Name) != r.Arity {
+			t.Errorf("relation %s arity %d, want %d", r.Name, in.Arity(r.Name), r.Arity)
+		}
+	}
+}
+
+func TestFactsWithInclusion(t *testing.T) {
+	g := New(5)
+	s := Schema{Relations: []RelDef{{Name: "R", Arity: 2}, {Name: "S", Arity: 1}}}
+	facts := g.FactsWithInclusion(s, 20, 10, "R", 1, "S", 0)
+	in := engine.NewInstance()
+	if err := in.LoadFacts(facts); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range in.Rows("R") {
+		if !in.Has("S", row[1]) {
+			t.Errorf("inclusion violated: R value %q not in S", row[1])
+		}
+	}
+}
+
+func TestChainQuery(t *testing.T) {
+	q, ps := ChainQuery(6)
+	if len(q.Body) != 6 {
+		t.Fatalf("chain body = %d", len(q.Body))
+	}
+	if !access.ExecutableCQ(q, ps) {
+		t.Error("chain must be executable as written")
+	}
+	rev := Reversed(q)
+	if access.ExecutableCQ(rev, ps) {
+		t.Error("reversed chain must not be executable as written")
+	}
+	if !core.Orderable(rev, ps) {
+		t.Error("reversed chain must be orderable")
+	}
+}
+
+func TestStarQuery(t *testing.T) {
+	q, ps := StarQuery(5)
+	if !access.ExecutableCQ(q, ps) {
+		t.Error("star must be executable as written")
+	}
+	if len(q.Negative()) != 1 {
+		t.Error("star must end with a negated filter")
+	}
+}
+
+func TestCaseSplitFamily(t *testing.T) {
+	u, ps := CaseSplitFamily(3)
+	if len(u.Rules) != 5 {
+		t.Fatalf("case split rules = %d, want 5", len(u.Rules))
+	}
+	res := core.Feasible(u, ps)
+	if !res.Feasible {
+		t.Error("case split family must be feasible (split covers R)")
+	}
+	if res.Verdict != core.VerdictContainment {
+		t.Errorf("case split must need containment, got %v", res.Verdict)
+	}
+	if res.Nodes < 3 {
+		t.Errorf("containment tree too small: %d nodes", res.Nodes)
+	}
+
+	easy, eps := EasyFamily(3)
+	eres := core.Feasible(easy, eps)
+	if !eres.Feasible || eres.Verdict != core.VerdictUnderEqualsOver {
+		t.Errorf("easy family must be feasible via the fast path, got %v", eres)
+	}
+}
+
+// Hard instances grow: the containment tree of CaseSplitFamily(n) gets
+// strictly larger with n.
+func TestCaseSplitGrowth(t *testing.T) {
+	var prev int
+	for n := 1; n <= 4; n++ {
+		u, ps := CaseSplitFamily(n)
+		res := core.Feasible(u, ps)
+		if !res.Feasible {
+			t.Fatalf("n=%d must be feasible", n)
+		}
+		if res.Nodes <= prev {
+			t.Errorf("n=%d: nodes %d did not grow beyond %d", n, res.Nodes, prev)
+		}
+		prev = res.Nodes
+	}
+}
+
+func TestPaperExamples(t *testing.T) {
+	for _, ex := range PaperExamples() {
+		t.Run(ex.Name, func(t *testing.T) {
+			if got := core.Executable(ex.Query, ex.Patterns); got != ex.Executable {
+				t.Errorf("executable = %v, want %v", got, ex.Executable)
+			}
+			if got := core.OrderableUCQ(ex.Query, ex.Patterns); got != ex.Orderable {
+				t.Errorf("orderable = %v, want %v", got, ex.Orderable)
+			}
+			if got := core.Feasible(ex.Query, ex.Patterns).Feasible; got != ex.Feasible {
+				t.Errorf("feasible = %v, want %v", got, ex.Feasible)
+			}
+		})
+	}
+}
+
+func TestGeneratedQueriesExerciseFeasible(t *testing.T) {
+	g := New(11)
+	s := g.Schema(4, 1, 2)
+	ps := g.Patterns(s, 0.55, 2)
+	cfg := QueryConfig{PosLits: 3, NegLits: 1, VarPool: 4, ConstProb: 0.1, HeadVars: 1, DomainSize: 6}
+	feasible, infeasible, blown := 0, 0, 0
+	for i := 0; i < 60; i++ {
+		u := g.UCQ(s, 2, cfg)
+		res, err := core.FeasibleLimited(u, ps, 50_000)
+		if err != nil {
+			blown++ // Π₂ᴾ worst case hit; expected occasionally
+			continue
+		}
+		if res.Feasible {
+			feasible++
+		} else {
+			infeasible++
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Errorf("workload must produce both outcomes: feasible=%d infeasible=%d blown=%d", feasible, infeasible, blown)
+	}
+	if blown > 30 {
+		t.Errorf("too many budget blowups (%d/60); generator or checker mis-tuned", blown)
+	}
+	_ = logic.UCQ{}
+}
