@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench paperbench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The runtime and source wrappers are concurrent; the race detector is
+# part of the tier-1 bar, not an optional extra.
+test-race:
+	$(GO) test -race ./internal/sources/ ./internal/engine/ .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+paperbench:
+	$(GO) run ./cmd/paperbench -quick
+
+check: build vet test test-race

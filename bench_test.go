@@ -1,11 +1,12 @@
 package ucqn
 
-// One testing.B benchmark per experiment of DESIGN.md (E1–E18), plus
+// One testing.B benchmark per experiment of DESIGN.md (E1–E19), plus
 // microbenchmarks for the extension subsystems. `go test -bench=.
 // -benchmem` regenerates every number; cmd/paperbench prints the same
 // series as human-readable tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -487,6 +488,56 @@ func BenchmarkE18AdornStrategy(b *testing.B) {
 		b.Run(strat.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.AnswerSteps(q, steps, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E19: the deduplicating concurrent runtime vs the historical
+// per-binding loop. The benchmark asserts the acceptance property up
+// front — strictly fewer source calls with an identical answer set —
+// then times both runtimes.
+func BenchmarkE19RuntimeDedup(b *testing.B) {
+	q := MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`)
+	ps := MustParsePatterns(`R^oo T^io`)
+	in := engine.NewInstance()
+	for i := 0; i < 400; i++ {
+		in.MustAdd("R", fmt.Sprintf("x%d", i), fmt.Sprintf("z%d", i%10))
+	}
+	for z := 0; z < 10; z++ {
+		in.MustAdd("T", fmt.Sprintf("z%d", z), fmt.Sprintf("y%d", z))
+	}
+
+	seqCat := in.MustCatalog(ps)
+	seqAns, err := SequentialRuntime().Answer(context.Background(), q, ps, seqCat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dedCat := in.MustCatalog(ps)
+	dedAns, err := NewRuntime().Answer(context.Background(), q, ps, dedCat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !seqAns.Equal(dedAns) {
+		b.Fatal("answer sets differ between runtimes")
+	}
+	seqCalls, dedCalls := seqCat.TotalStats().Calls, dedCat.TotalStats().Calls
+	if dedCalls >= seqCalls {
+		b.Fatalf("dedup must issue strictly fewer calls: %d vs %d", dedCalls, seqCalls)
+	}
+	b.Logf("source calls: sequential=%d dedup=%d", seqCalls, dedCalls)
+
+	for _, cfg := range []struct {
+		name string
+		rt   *Runtime
+	}{{"sequential", SequentialRuntime()}, {"dedup", NewRuntime()}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cat := in.MustCatalog(ps)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.rt.Answer(context.Background(), q, ps, cat); err != nil {
 					b.Fatal(err)
 				}
 			}

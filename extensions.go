@@ -169,3 +169,53 @@ func NewCachedSource(src Source) *CachedSource { return sources.NewCached(src) }
 func CachedCatalog(cat *Catalog) (*Catalog, []*CachedSource, error) {
 	return sources.CachedCatalog(cat)
 }
+
+// Runtime is the source-call runtime behind Answer, AnswerParallel and
+// RunAnswerStar: it groups each step's bindings by input-slot key so
+// every distinct call is issued once, drives distinct calls through a
+// bounded worker pool, and retries transient failures. Construct one
+// with NewRuntime (or SequentialRuntime for the historical per-binding
+// loop), tune the exported fields before first use, and call its
+// context-taking Answer/AnswerParallel/RunAnswerStar methods.
+type Runtime = engine.Runtime
+
+// RetryPolicy configures how a Runtime retries failed source calls.
+type RetryPolicy = engine.RetryPolicy
+
+// NewRuntime returns the production runtime configuration: call
+// deduplication on, one worker per CPU, transient failures retried with
+// exponential backoff.
+func NewRuntime() *Runtime { return engine.NewRuntime() }
+
+// SequentialRuntime returns a runtime that evaluates exactly like the
+// historical per-binding loop: one call per binding, in order, no
+// retries. Useful as a benchmark baseline.
+func SequentialRuntime() *Runtime { return engine.SequentialRuntime() }
+
+// DefaultRetryPolicy is the policy NewRuntime installs.
+func DefaultRetryPolicy() RetryPolicy { return engine.DefaultRetryPolicy() }
+
+// FlakySource injects transient failures in front of a source, for
+// testing retry behavior and fault-tolerance of plans.
+type FlakySource = sources.Flaky
+
+// FlakyConfig schedules a FlakySource's injected failures.
+type FlakyConfig = sources.FlakyConfig
+
+// NewFlakySource wraps src with a fault injector.
+func NewFlakySource(src Source, cfg FlakyConfig) *FlakySource {
+	return sources.NewFlaky(src, cfg)
+}
+
+// Transient marks an error as a transient source failure (retryable by
+// the runtime's default policy).
+func Transient(err error) error { return sources.Transient(err) }
+
+// IsTransient reports whether any error in err's chain is transient.
+func IsTransient(err error) bool { return sources.IsTransient(err) }
+
+// StatsReporter is implemented by sources that meter their own traffic;
+// wrappers like CachedSource and FlakySource forward it to the wrapped
+// source, so Catalog.TotalStats reports real remote traffic even on
+// wrapped catalogs.
+type StatsReporter = sources.StatsReporter

@@ -1,6 +1,8 @@
 package ucqn
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -132,20 +134,33 @@ func TestCachedCatalogFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`)
-	ans, err := Answer(q, ps, cat)
+	// Within a query the runtime already dedupes the 20 identical T
+	// lookups into one call; the cache's job is repeats across queries.
+	ans, prof, err := AnswerProfiled(q, ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ans.Len() != 20 {
 		t.Errorf("answers = %d, want 20", ans.Len())
 	}
+	if prof.TotalDeduped() != 19 {
+		t.Errorf("deduped = %d, want 19 (20 identical T lookups)", prof.TotalDeduped())
+	}
+	if ans2, err := Answer(q, ps, cat); err != nil || ans2.Len() != 20 {
+		t.Fatalf("second run: %v, %d answers", err, ans2.Len())
+	}
 	totalHits := 0
 	for _, c := range caches {
 		h, _ := c.HitsMisses()
 		totalHits += h
 	}
-	if totalHits != 19 {
-		t.Errorf("cache hits = %d, want 19 (20 identical T lookups)", totalHits)
+	if totalHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (the second run's R scan and T lookup)", totalHits)
+	}
+	// The wrapped catalog reports the inner tables' real remote traffic:
+	// R scanned once, T looked up once, everything else served locally.
+	if st := cat.TotalStats(); st.Calls != 2 {
+		t.Errorf("wrapped TotalStats.Calls = %d, want 2", st.Calls)
 	}
 	// The wrapped single source constructor works too.
 	single := NewCachedSource(base.Source("T"))
@@ -157,3 +172,58 @@ func TestCachedCatalogFacade(t *testing.T) {
 func xval(i int) string {
 	return string(rune('a' + i%26))
 }
+
+func TestRuntimeFacade(t *testing.T) {
+	in := NewInstance()
+	for i := 0; i < 12; i++ {
+		in.MustAdd("R", xval(i), "z"+xval(i%3))
+	}
+	for i := 0; i < 3; i++ {
+		in.MustAdd("T", "z"+xval(i), "y"+xval(i))
+	}
+	ps := MustParsePatterns(`R^oo T^io`)
+	base, err := in.Catalog(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put a fault injector in front of every source; the runtime's retry
+	// policy must absorb the injected failures.
+	var flaky []Source
+	for _, name := range base.Names() {
+		flaky = append(flaky, NewFlakySource(base.Source(name), FlakyConfig{FailFirst: 1}))
+	}
+	cat, err := NewCatalog(flaky...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`)
+
+	rt := NewRuntime()
+	rt.Retry = RetryPolicy{MaxAttempts: 3}
+	ans, err := rt.Answer(context.Background(), q, ps, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 12 {
+		t.Errorf("answers = %d, want 12", ans.Len())
+	}
+	seq, err := SequentialRuntime().Answer(context.Background(), q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(seq) {
+		t.Error("runtime answers must match the sequential baseline")
+	}
+	// StatsReporter lets the wrapped catalog report inner traffic: the
+	// injected failures never reach the tables, so only the 4 successful
+	// distinct calls (1 R scan + 3 T lookups) are metered.
+	if st := cat.TotalStats(); st.Calls != 4 {
+		t.Errorf("wrapped TotalStats.Calls = %d, want 4", st.Calls)
+	}
+	var _ StatsReporter = NewFlakySource(base.Source("R"), FlakyConfig{})
+	if err := Transient(errEnv); !IsTransient(err) || IsTransient(errEnv) {
+		t.Error("Transient/IsTransient classification broken")
+	}
+}
+
+var errEnv = errors.New("env down")

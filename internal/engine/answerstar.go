@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,18 +61,29 @@ func (a AnswerStar) Report() string {
 // evaluates both against the catalog, and derives Δ and the completeness
 // report.
 func RunAnswerStar(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
+	return defaultRuntime.RunAnswerStar(context.Background(), u, ps, cat)
+}
+
+// RunAnswerStar is the package-level RunAnswerStar on this runtime.
+func (rt *Runtime) RunAnswerStar(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
 	plans := core.ComputePlans(u, ps)
-	return RunAnswerStarWithPlans(plans, ps, cat)
+	return rt.RunAnswerStarWithPlans(ctx, plans, ps, cat)
 }
 
 // RunAnswerStarWithPlans is RunAnswerStar for precomputed plans (so
 // callers can reuse a compile-time PLAN* across database states).
 func RunAnswerStarWithPlans(plans core.PlanStar, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
-	under, err := Answer(plans.Under, ps, cat)
+	return defaultRuntime.RunAnswerStarWithPlans(context.Background(), plans, ps, cat)
+}
+
+// RunAnswerStarWithPlans is the package-level RunAnswerStarWithPlans on
+// this runtime.
+func (rt *Runtime) RunAnswerStarWithPlans(ctx context.Context, plans core.PlanStar, ps *access.Set, cat *sources.Catalog) (AnswerStar, error) {
+	under, err := rt.Answer(ctx, plans.Under, ps, cat)
 	if err != nil {
 		return AnswerStar{}, fmt.Errorf("engine: evaluating underestimate: %w", err)
 	}
-	over, err := Answer(plans.Over, ps, cat)
+	over, err := rt.Answer(ctx, plans.Over, ps, cat)
 	if err != nil {
 		return AnswerStar{}, fmt.Errorf("engine: evaluating overestimate: %w", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -24,14 +25,20 @@ func (b binding) clone() binding {
 // patterns declared by ps. Rules must be executable as written (PLAN*
 // and Reorder emit such rules); otherwise an error is returned. This is
 // ANSWER(Q, D) of the paper, computed the only way the setting allows —
-// through the sources.
+// through the sources. It runs on the default Runtime (deduplicating,
+// concurrent); use a Runtime value for cancellation or custom knobs.
 func Answer(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
+	return defaultRuntime.Answer(context.Background(), u, ps, cat)
+}
+
+// Answer is ANSWER(Q, D) on this runtime; see the package-level Answer.
+func (rt *Runtime) Answer(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
 	out := NewRel()
 	for _, rule := range u.Rules {
 		if rule.False {
 			continue
 		}
-		if err := answerRule(rule, ps, cat, out, nil); err != nil {
+		if err := rt.answerRule(ctx, rule, ps, cat, out, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -40,37 +47,44 @@ func Answer(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
 
 // answerRule executes one rule and adds its answers to out. When prof is
 // non-nil, per-step accounting is recorded into it.
-func answerRule(q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+func (rt *Runtime) answerRule(ctx context.Context, q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
 	steps, ok := access.AdornInOrder(q.Body, ps)
 	if !ok {
 		return fmt.Errorf("engine: rule is not executable as written: %s", q)
 	}
-	return runSteps(q, steps, cat, out, prof)
+	return rt.runSteps(ctx, q, steps, cat, out, prof)
 }
 
 // AnswerSteps executes an explicitly adorned plan for one rule — the
 // caller chooses the access pattern of every step (e.g. via
 // access.AdornInOrderPrefer) — and returns its answers.
 func AnswerSteps(q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog) (*Rel, error) {
+	return defaultRuntime.AnswerSteps(context.Background(), q, steps, cat)
+}
+
+// AnswerSteps is the package-level AnswerSteps on this runtime.
+func (rt *Runtime) AnswerSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog) (*Rel, error) {
 	out := NewRel()
 	if q.False {
 		return out, nil
 	}
-	if err := runSteps(q, steps, cat, out, nil); err != nil {
+	if err := rt.runSteps(ctx, q, steps, cat, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// runSteps drives the nested-loop execution of an adorned plan.
-func runSteps(q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+// runSteps drives the nested-loop execution of an adorned plan. Within a
+// step the runtime batches the bindings' source calls (see applyStep);
+// across steps the binding set flows left to right as in the paper.
+func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
 	bindings := []binding{{}}
 	for _, step := range steps {
 		var sp StepProfile
 		sp.Step = step
 		sp.BindingsIn = len(bindings)
 		var err error
-		bindings, err = applyStep(step, cat, bindings, &sp)
+		bindings, err = rt.applyStep(ctx, step, cat, bindings, &sp)
 		if err != nil {
 			return err
 		}
@@ -92,49 +106,6 @@ func runSteps(q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, o
 		}
 	}
 	return nil
-}
-
-// applyStep runs one adorned literal over every current binding,
-// recording source traffic into sp.
-func applyStep(step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile) ([]binding, error) {
-	src := cat.Source(step.Literal.Atom.Pred)
-	if src == nil {
-		return nil, fmt.Errorf("engine: no source for relation %s", step.Literal.Atom.Pred)
-	}
-	var next []binding
-	for _, b := range bindings {
-		inputs, err := callInputs(step, b)
-		if err != nil {
-			return nil, err
-		}
-		tuples, err := src.Call(step.Pattern, inputs)
-		if err != nil {
-			return nil, err
-		}
-		sp.Calls++
-		sp.TuplesReturned += len(tuples)
-		if step.Literal.Negated {
-			// Filter: keep the binding iff no returned tuple matches the
-			// (fully bound) arguments.
-			matched := false
-			for _, t := range tuples {
-				if tupleMatches(step.Literal.Atom, t, b) != nil {
-					matched = true
-					break
-				}
-			}
-			if !matched {
-				next = append(next, b)
-			}
-			continue
-		}
-		for _, t := range tuples {
-			if nb := tupleMatches(step.Literal.Atom, t, b); nb != nil {
-				next = append(next, nb)
-			}
-		}
-	}
-	return next, nil
 }
 
 // callInputs extracts the values for the input slots of the step's

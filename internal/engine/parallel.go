@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -12,14 +14,22 @@ import (
 // AnswerParallel evaluates the executable plan with one goroutine per
 // rule — the paper's reading of a UCQ¬ plan: "execute each rule
 // separately (possibly in parallel) from left to right" (Section 3).
-// Table sources are safe for concurrent use; results are merged under
-// set semantics, so the answer equals Answer's. The first rule error
-// aborts the whole evaluation.
+// Sources are safe for concurrent use; results are merged under set
+// semantics, so the answer equals Answer's. A rule failure cancels the
+// rules still in flight; every distinct rule error is reported (joined),
+// in rule order.
 func AnswerParallel(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
+	return defaultRuntime.AnswerParallel(context.Background(), u, ps, cat)
+}
+
+// AnswerParallel is the package-level AnswerParallel on this runtime.
+func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
 	type ruleResult struct {
 		rel *Rel
 		err error
 	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	results := make([]ruleResult, len(u.Rules))
 	for i, rule := range u.Rules {
@@ -32,19 +42,40 @@ func AnswerParallel(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, er
 			defer func() {
 				if r := recover(); r != nil {
 					results[i] = ruleResult{err: fmt.Errorf("engine: rule %d panicked: %v", i+1, r)}
+					cancel()
 				}
 			}()
 			rel := NewRel()
-			err := answerRule(rule, ps, cat, rel, nil)
+			err := rt.answerRule(cctx, rule, ps, cat, rel, nil)
+			if err != nil {
+				cancel() // stop the rules still in flight
+			}
 			results[i] = ruleResult{rel: rel, err: err}
 		}(i, rule)
 	}
 	wg.Wait()
+	var errs []error
+	var cancelled error
+	for i, r := range results {
+		if r.err == nil {
+			continue
+		}
+		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+			// A rule stopped by a sibling's failure (or the caller's
+			// context); only meaningful when no real failure surfaced.
+			cancelled = r.err
+			continue
+		}
+		errs = append(errs, fmt.Errorf("engine: rule %d: %w", i+1, r.err))
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
 	out := NewRel()
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		if r.rel != nil {
 			out.AddAll(r.rel)
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -50,6 +51,24 @@ func TestAnswerParallelErrorPropagates(t *testing.T) {
 	u := ucq(t, "Q(x) :- R(x).\nQ(x) :- Z(x).")
 	if _, err := AnswerParallel(u, ps, cat); err == nil {
 		t.Error("rule error must propagate")
+	}
+}
+
+// When several rules fail, every failure must be reported — not just
+// whichever goroutine lost the race.
+func TestAnswerParallelAggregatesErrors(t *testing.T) {
+	in := NewInstance().MustAdd("R", "a")
+	ps := pats(t, `R^o Z1^o Z2^o`)
+	cat := in.MustCatalog(pats(t, `R^o`)) // Z1/Z2 declared but unpublished
+	u := ucq(t, "Q(x) :- Z1(x).\nQ(x) :- Z2(x).\nQ(x) :- R(x).")
+	_, err := AnswerParallel(u, ps, cat)
+	if err == nil {
+		t.Fatal("rule errors must propagate")
+	}
+	for _, want := range []string{"rule 1", "Z1", "rule 2", "Z2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
 	}
 }
 

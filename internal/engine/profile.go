@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,17 +15,37 @@ import (
 // and how the binding set changed. It is the per-operator half of an
 // EXPLAIN ANALYZE for limited-access plans.
 type StepProfile struct {
-	Step           access.AdornedLiteral
+	Step access.AdornedLiteral
+	// Calls counts the call attempts issued to the source, including
+	// retried attempts; with healthy sources it equals the catalog's
+	// meter delta for the step.
 	Calls          int
 	TuplesReturned int
 	BindingsIn     int
 	BindingsOut    int
+	// DedupedCalls counts bindings served by another binding's call:
+	// their (pattern, inputs) key was already being fetched this step,
+	// so no extra source call was issued.
+	DedupedCalls int
+	// Retries counts attempts beyond the first per call (transient
+	// failures that the retry policy absorbed).
+	Retries int
+	// MaxInFlight is the peak number of concurrent calls the step had
+	// outstanding against the source.
+	MaxInFlight int
 }
 
 // String renders one profile line.
 func (sp StepProfile) String() string {
-	return fmt.Sprintf("%-36s calls=%-5d tuples=%-6d bindings %d→%d",
-		sp.Step.String(), sp.Calls, sp.TuplesReturned, sp.BindingsIn, sp.BindingsOut)
+	s := fmt.Sprintf("%-36s calls=%-5d dedup=%-5d tuples=%-6d bindings %d→%d",
+		sp.Step.String(), sp.Calls, sp.DedupedCalls, sp.TuplesReturned, sp.BindingsIn, sp.BindingsOut)
+	if sp.Retries > 0 {
+		s += fmt.Sprintf(" retries=%d", sp.Retries)
+	}
+	if sp.MaxInFlight > 1 {
+		s += fmt.Sprintf(" inflight≤%d", sp.MaxInFlight)
+	}
+	return s
 }
 
 // RuleProfile is the execution profile of one rule.
@@ -61,6 +82,42 @@ func (p Profile) TotalTuples() int {
 	return n
 }
 
+// TotalDeduped sums the calls saved by per-step deduplication.
+func (p Profile) TotalDeduped() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.DedupedCalls
+		}
+	}
+	return n
+}
+
+// TotalRetries sums the retried attempts across all rules.
+func (p Profile) TotalRetries() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.Retries
+		}
+	}
+	return n
+}
+
+// MaxInFlight is the peak per-step call concurrency seen anywhere in the
+// plan.
+func (p Profile) MaxInFlight() int {
+	m := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			if s.MaxInFlight > m {
+				m = s.MaxInFlight
+			}
+		}
+	}
+	return m
+}
+
 // String renders the profile, one rule block per rule.
 func (p Profile) String() string {
 	var b strings.Builder
@@ -80,6 +137,11 @@ func (p Profile) String() string {
 // evaluates the executable plan and returns both the answers and the
 // profile of every rule's steps.
 func AnswerProfiled(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Profile, error) {
+	return defaultRuntime.AnswerProfiled(context.Background(), u, ps, cat)
+}
+
+// AnswerProfiled is the package-level AnswerProfiled on this runtime.
+func (rt *Runtime) AnswerProfiled(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Profile, error) {
 	out := NewRel()
 	var prof Profile
 	for _, rule := range u.Rules {
@@ -87,7 +149,7 @@ func AnswerProfiled(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Pr
 			continue
 		}
 		rp := RuleProfile{Rule: rule.Clone()}
-		if err := answerRule(rule, ps, cat, out, &rp); err != nil {
+		if err := rt.answerRule(ctx, rule, ps, cat, out, &rp); err != nil {
 			return nil, Profile{}, err
 		}
 		prof.Rules = append(prof.Rules, rp)

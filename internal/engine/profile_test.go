@@ -35,21 +35,25 @@ func TestAnswerProfiled(t *testing.T) {
 	if steps[1].Calls != 3 || steps[1].BindingsOut != 2 {
 		t.Errorf("L step = %+v", steps[1])
 	}
-	// T^io: 2 calls, 2 tuples, 2→2.
-	if steps[2].Calls != 2 || steps[2].BindingsOut != 2 {
+	// T^io: both surviving bindings share the input key k, so the
+	// runtime issues 1 call and dedupes the other: 1 tuple, 2→2.
+	if steps[2].Calls != 1 || steps[2].DedupedCalls != 1 || steps[2].BindingsOut != 2 {
 		t.Errorf("T step = %+v", steps[2])
 	}
-	if prof.TotalCalls() != 6 {
-		t.Errorf("TotalCalls = %d, want 6", prof.TotalCalls())
+	if prof.TotalCalls() != 5 {
+		t.Errorf("TotalCalls = %d, want 5", prof.TotalCalls())
 	}
-	if prof.TotalTuples() != 5+steps[1].TuplesReturned {
+	if prof.TotalDeduped() != 1 {
+		t.Errorf("TotalDeduped = %d, want 1", prof.TotalDeduped())
+	}
+	if prof.TotalTuples() != 4+steps[1].TuplesReturned {
 		t.Errorf("TotalTuples = %d", prof.TotalTuples())
 	}
 	if prof.Rules[0].Answers != 2 {
 		t.Errorf("Answers = %d", prof.Rules[0].Answers)
 	}
 	s := prof.String()
-	for _, want := range []string{"rule 1:", "calls=", "bindings 1→3", "(2 answers)"} {
+	for _, want := range []string{"rule 1:", "calls=", "dedup=", "bindings 1→3", "(2 answers)"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Profile.String() missing %q:\n%s", want, s)
 		}

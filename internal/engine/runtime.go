@@ -1,0 +1,370 @@
+package engine
+
+// The source-call runtime. The paper's cost model is source traffic —
+// calls made through limited access patterns — and its setting is remote
+// web services (Section 1), so the engine treats each plan step as a
+// batch of service calls: bindings are grouped by their input-slot key
+// (each distinct call issued exactly once), distinct calls go through a
+// bounded worker pool, transient failures are retried with exponential
+// backoff, and everything honors context cancellation. Answer sets are
+// byte-identical to sequential per-binding evaluation: results are
+// fanned back out to the bindings in their original order.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/sources"
+)
+
+// RetryPolicy says how the runtime retries failed source calls. Only
+// errors classified as retryable (by default: transient source failures,
+// see sources.Transient) are retried; contract violations and context
+// cancellations always fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including
+	// the first. Values below 1 mean 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles on
+	// every further attempt. Zero means retry immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff when > 0.
+	MaxDelay time.Duration
+	// Jitter, when set, maps each computed backoff to the delay actually
+	// slept — the hook where randomized jitter (or a test clock) plugs
+	// in. Nil means no jitter: delays are deterministic.
+	Jitter func(time.Duration) time.Duration
+	// Retryable classifies errors; nil means sources.IsTransient.
+	Retryable func(error) bool
+}
+
+// DefaultRetryPolicy retries transient failures up to 4 attempts with
+// 2ms/4ms/8ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) isRetryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return sources.IsTransient(err)
+}
+
+// backoff returns the delay to sleep after the attempt-th failure
+// (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter != nil {
+		d = p.Jitter(d)
+	}
+	return d
+}
+
+// Runtime executes plans against a catalog. NewRuntime returns the
+// production configuration (dedup on, pool per CPU, retries);
+// SequentialRuntime reproduces the historical per-binding loop exactly.
+// A Runtime is safe for concurrent use and may be shared across queries;
+// the per-source limit is enforced across everything in flight on it.
+type Runtime struct {
+	// Concurrency bounds the worker pool issuing a step's distinct
+	// calls. 0 means GOMAXPROCS; 1 means sequential.
+	Concurrency int
+	// PerSource caps the calls in flight against any one source across
+	// all concurrent rules and steps (0 = no cap) — remote services
+	// rate-limit per endpoint, not per client goroutine.
+	PerSource int
+	// Dedup groups a step's bindings by input-slot key so each distinct
+	// (pattern, inputs) call is issued exactly once per step.
+	Dedup bool
+	// Retry is the per-call retry policy.
+	Retry RetryPolicy
+
+	mu   sync.Mutex
+	sems map[string]chan struct{}
+}
+
+// NewRuntime returns the production runtime: deduplication on, one
+// worker per CPU, transient failures retried.
+func NewRuntime() *Runtime {
+	return &Runtime{Concurrency: runtime.GOMAXPROCS(0), Dedup: true, Retry: DefaultRetryPolicy()}
+}
+
+// SequentialRuntime returns a runtime that reproduces the historical
+// per-binding evaluation loop exactly: one call per binding, in binding
+// order, no retries. Benchmarks use it as the baseline.
+func SequentialRuntime() *Runtime {
+	return &Runtime{Concurrency: 1}
+}
+
+// defaultRuntime backs the package-level Answer/AnswerProfiled/... ; it
+// is shared, which is safe (the only state is the per-source limiter).
+var defaultRuntime = NewRuntime()
+
+func (rt *Runtime) workers(n int) int {
+	w := rt.Concurrency
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if rt.PerSource > 0 && rt.PerSource < w {
+		w = rt.PerSource // a step calls a single source
+	}
+	if n < w {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sourceSem returns the shared in-flight limiter for the named source,
+// or nil when unlimited.
+func (rt *Runtime) sourceSem(name string) chan struct{} {
+	if rt.PerSource <= 0 {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.sems == nil {
+		rt.sems = map[string]chan struct{}{}
+	}
+	sem, ok := rt.sems[name]
+	if !ok {
+		sem = make(chan struct{}, rt.PerSource)
+		rt.sems[name] = sem
+	}
+	return sem
+}
+
+// inFlightGauge tracks the high-water mark of concurrent source calls.
+type inFlightGauge struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+func (g *inFlightGauge) enter() {
+	c := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if c <= m || g.max.CompareAndSwap(m, c) {
+			return
+		}
+	}
+}
+
+func (g *inFlightGauge) leave() { g.cur.Add(-1) }
+
+// callWithRetry issues one source call under the per-source limit,
+// retrying per the policy. It returns the rows and the number of
+// attempts actually made (0 when cancelled before the first attempt).
+func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name string, p access.Pattern, inputs []string, gauge *inFlightGauge) (rows []sources.Tuple, attempts int, err error) {
+	sem := rt.sourceSem(name)
+	max := rt.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, attempt - 1, ctx.Err()
+			}
+		}
+		gauge.enter()
+		rows, err = sources.CallWithContext(ctx, src, p, inputs)
+		gauge.leave()
+		if sem != nil {
+			<-sem
+		}
+		if err == nil || attempt >= max || !rt.Retry.isRetryable(err) || ctx.Err() != nil {
+			return rows, attempt, err
+		}
+		if d := rt.Retry.backoff(attempt); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, attempt, ctx.Err()
+			}
+		}
+	}
+}
+
+// stepCall is one distinct (pattern, inputs) call of a step, shared by
+// every binding whose input slots produced it.
+type stepCall struct {
+	inputs   []string
+	rows     []sources.Tuple
+	attempts int
+	err      error
+}
+
+// applyStep runs one adorned literal over the current binding set: group
+// bindings into distinct calls, issue the calls, fan the results back
+// out. Traffic is recorded into sp.
+func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile) ([]binding, error) {
+	src := cat.Source(step.Literal.Atom.Pred)
+	if src == nil {
+		return nil, fmt.Errorf("engine: no source for relation %s", step.Literal.Atom.Pred)
+	}
+	calls := make([]*stepCall, 0, len(bindings))
+	callOf := make([]*stepCall, len(bindings))
+	var byKey map[string]*stepCall
+	if rt.Dedup {
+		byKey = make(map[string]*stepCall, len(bindings))
+	}
+	for i, b := range bindings {
+		inputs, err := callInputs(step, b)
+		if err != nil {
+			return nil, err
+		}
+		if rt.Dedup {
+			key := strings.Join(inputs, "\x1f")
+			if c, ok := byKey[key]; ok {
+				callOf[i] = c
+				sp.DedupedCalls++
+				continue
+			}
+			c := &stepCall{inputs: inputs}
+			byKey[key] = c
+			calls = append(calls, c)
+			callOf[i] = c
+			continue
+		}
+		c := &stepCall{inputs: inputs}
+		calls = append(calls, c)
+		callOf[i] = c
+	}
+	if err := rt.issue(ctx, src, step, calls, sp); err != nil {
+		return nil, err
+	}
+	// Fan back out in the original binding order: the output bindings —
+	// and hence everything downstream — are identical to sequential
+	// evaluation, whatever order the calls completed in.
+	var next []binding
+	for i, b := range bindings {
+		tuples := callOf[i].rows
+		if step.Literal.Negated {
+			// Filter: keep the binding iff no returned tuple matches the
+			// (fully bound) arguments.
+			matched := false
+			for _, t := range tuples {
+				if tupleMatches(step.Literal.Atom, t, b) != nil {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				next = append(next, b)
+			}
+			continue
+		}
+		for _, t := range tuples {
+			if nb := tupleMatches(step.Literal.Atom, t, b); nb != nil {
+				next = append(next, nb)
+			}
+		}
+	}
+	return next, nil
+}
+
+// issue drives the step's distinct calls through the bounded worker
+// pool and records traffic into sp. On failure every distinct error is
+// reported (joined), and outstanding calls are cancelled.
+func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.AdornedLiteral, calls []*stepCall, sp *StepProfile) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	name := step.Literal.Atom.Pred
+	var gauge inFlightGauge
+	if workers := rt.workers(len(calls)); workers <= 1 {
+		for _, c := range calls {
+			c.rows, c.attempts, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge)
+			if c.err != nil {
+				break // abort like the sequential loop; later calls stay unissued
+			}
+		}
+	} else {
+		cctx, cancel := context.WithCancel(ctx)
+		feed := make(chan *stepCall)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range feed {
+					if cctx.Err() != nil {
+						c.err = cctx.Err()
+						continue
+					}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								c.err = fmt.Errorf("engine: source %s panicked: %v", name, r)
+							}
+						}()
+						c.rows, c.attempts, c.err = rt.callWithRetry(cctx, src, name, step.Pattern, c.inputs, &gauge)
+					}()
+					if c.err != nil {
+						cancel() // fail fast: stop issuing, wake sleepers
+					}
+				}
+			}()
+		}
+		for _, c := range calls {
+			feed <- c
+		}
+		close(feed)
+		wg.Wait()
+		cancel()
+	}
+	var errs []error
+	var cancelled error
+	for _, c := range calls {
+		sp.Calls += c.attempts
+		if c.attempts > 1 {
+			sp.Retries += c.attempts - 1
+		}
+		sp.TuplesReturned += len(c.rows)
+		if c.err == nil {
+			continue
+		}
+		if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+			cancelled = c.err // secondary: either the real failure or the caller's ctx
+			continue
+		}
+		errs = append(errs, fmt.Errorf("engine: calling %s^%s(%s): %w",
+			name, step.Pattern, strings.Join(c.inputs, ","), c.err))
+	}
+	if m := int(gauge.max.Load()); m > sp.MaxInFlight {
+		sp.MaxInFlight = m
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	return cancelled
+}

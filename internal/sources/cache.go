@@ -1,6 +1,7 @@
 package sources
 
 import (
+	"context"
 	"strings"
 	"sync"
 
@@ -12,18 +13,33 @@ import (
 // remote services, so the same lookup is often issued once per binding;
 // caching converts that to one remote call. The wrapper is safe for
 // concurrent use and exposes hit/miss counters.
+//
+// Concurrent misses on the same key are collapsed into a single inner
+// call (singleflight): the first caller fetches, the others wait for its
+// result. Followers are counted as hits — they were served without
+// inner traffic — so misses counts exactly the inner calls made.
 type Cached struct {
 	inner Source
 
-	mu     sync.Mutex
-	cache  map[string][]Tuple
-	hits   int
-	misses int
+	mu       sync.Mutex
+	cache    map[string][]Tuple
+	inflight map[string]*flight
+	gen      int // bumped by Reset; fetches from an old generation are not installed
+	hits     int
+	misses   int
+}
+
+// flight is one in-progress inner fetch that concurrent callers of the
+// same key wait on.
+type flight struct {
+	done chan struct{}
+	rows []Tuple
+	err  error
 }
 
 // NewCached wraps src with a cache.
 func NewCached(src Source) *Cached {
-	return &Cached{inner: src, cache: map[string][]Tuple{}}
+	return &Cached{inner: src, cache: map[string][]Tuple{}, inflight: map[string]*flight{}}
 }
 
 // Name implements Source.
@@ -38,6 +54,14 @@ func (c *Cached) Patterns() []access.Pattern { return c.inner.Patterns() }
 // Call implements Source, consulting the cache first. Errors are not
 // cached (a bad pattern stays an error on every call).
 func (c *Cached) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	return c.CallContext(context.Background(), p, inputs)
+}
+
+// CallContext implements ContextSource. A caller waiting on another
+// goroutine's in-flight fetch of the same key stops waiting when its
+// own context is cancelled; the fetch itself runs under the leader's
+// context.
+func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
 	key := string(p) + "\x00" + strings.Join(inputs, "\x1f")
 	c.mu.Lock()
 	if rows, ok := c.cache[key]; ok {
@@ -45,15 +69,46 @@ func (c *Cached) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 		c.mu.Unlock()
 		return copyTuples(rows), nil
 	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return copyTuples(f.rows), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	gen := c.gen
 	c.mu.Unlock()
-	rows, err := c.inner.Call(p, inputs)
+
+	rows, err := CallWithContext(ctx, c.inner, p, inputs)
+
+	c.mu.Lock()
+	if err != nil {
+		f.err = err
+	} else {
+		f.rows = copyTuples(rows)
+		if gen == c.gen {
+			c.misses++
+			c.cache[key] = f.rows
+		}
+	}
+	if gen == c.gen {
+		delete(c.inflight, key)
+	}
+	c.mu.Unlock()
+	close(f.done)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	c.misses++
-	c.cache[key] = copyTuples(rows)
-	c.mu.Unlock()
 	return rows, nil
 }
 
@@ -73,12 +128,33 @@ func (c *Cached) HitsMisses() (hits, misses int) {
 }
 
 // Reset clears the cache and counters (call after the underlying data
-// changes).
+// changes). In-flight fetches complete against the old generation; their
+// results are not installed into the fresh cache.
 func (c *Cached) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cache = map[string][]Tuple{}
+	c.inflight = map[string]*flight{}
+	c.gen++
 	c.hits, c.misses = 0, 0
+}
+
+// StatsSnapshot implements StatsReporter by forwarding to the wrapped
+// source, so catalogs of cached sources report the real remote traffic.
+// Wrapping a source that does not meter reports zero.
+func (c *Cached) StatsSnapshot() Stats {
+	if r, ok := c.inner.(StatsReporter); ok {
+		return r.StatsSnapshot()
+	}
+	return Stats{}
+}
+
+// ResetStats implements StatsReporter by forwarding to the wrapped
+// source.
+func (c *Cached) ResetStats() {
+	if r, ok := c.inner.(StatsReporter); ok {
+		r.ResetStats()
+	}
 }
 
 // CachedCatalog wraps every source of a catalog with a cache.

@@ -1,7 +1,11 @@
 package sources
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 )
@@ -67,6 +71,115 @@ func TestCachedReset(t *testing.T) {
 	}
 	if hits, misses := c.HitsMisses(); hits != 0 || misses != 1 {
 		t.Errorf("after reset: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// blockingSource serves fixed rows but parks every call until released,
+// so tests can pile up concurrent callers deterministically.
+type blockingSource struct {
+	rows    []Tuple
+	release chan struct{}
+	calls   atomic.Int32
+}
+
+func (s *blockingSource) Name() string               { return "B" }
+func (s *blockingSource) Arity() int                 { return 2 }
+func (s *blockingSource) Patterns() []access.Pattern { return []access.Pattern{"io"} }
+func (s *blockingSource) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	s.calls.Add(1)
+	<-s.release
+	return copyTuples(s.rows), nil
+}
+
+// Regression test for the thundering-herd bug: N goroutines missing on
+// the same key must collapse into exactly one inner call.
+func TestCachedSingleflight(t *testing.T) {
+	const n = 16
+	inner := &blockingSource{rows: []Tuple{{"k", "v"}}, release: make(chan struct{})}
+	c := NewCached(inner)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	rows := make([][]Tuple, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], errs[i] = c.Call("io", []string{"k"})
+		}(i)
+	}
+	// Wait for the leader to reach the inner source, give the followers a
+	// moment to queue up (stragglers hit the cache instead — either way
+	// the inner call count must stay 1), then release the fetch.
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(inner.release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(rows[i]) != 1 || rows[i][0][1] != "v" {
+			t.Fatalf("caller %d rows = %v", i, rows[i])
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner calls = %d, want exactly 1", got)
+	}
+	hits, misses := c.HitsMisses()
+	if misses != 1 || hits != n-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, n-1)
+	}
+}
+
+// A caller waiting on someone else's in-flight fetch must honor its own
+// context.
+func TestCachedFollowerCancellation(t *testing.T) {
+	inner := &blockingSource{rows: []Tuple{{"k", "v"}}, release: make(chan struct{})}
+	c := NewCached(inner)
+	go c.Call("io", []string{"k"}) // leader, parked on the inner source
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CallContext(ctx, "io", []string{"k"}); err != context.Canceled {
+		t.Errorf("follower error = %v, want context.Canceled", err)
+	}
+	close(inner.release)
+}
+
+// Regression test for the wrapped-catalog accounting bug: TotalStats on
+// a CachedCatalog must report the inner sources' real traffic instead of
+// zero (the wrappers are not *Table).
+func TestCachedCatalogReportsInnerTraffic(t *testing.T) {
+	b := bookTable(t)
+	l := MustTable("L", 1, []access.Pattern{"o"}, []Tuple{{"i3"}})
+	wrapped, _, err := CachedCatalog(MustCatalog(b, l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // 1 remote call + 2 cache hits
+		if _, err := wrapped.Source("B").Call("oio", []string{"knuth"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := wrapped.Source("L").Call("o", nil); err != nil {
+		t.Fatal(err)
+	}
+	st := wrapped.TotalStats()
+	if st.Calls != 2 || st.TuplesReturned != 3 {
+		t.Errorf("wrapped TotalStats = %+v, want 2 calls / 3 tuples", st)
+	}
+	wrapped.ResetStats()
+	if st := wrapped.TotalStats(); st.Calls != 0 || st.TuplesReturned != 0 {
+		t.Errorf("after reset, wrapped TotalStats = %+v", st)
+	}
+	if st := b.StatsSnapshot(); st.Calls != 0 {
+		t.Errorf("ResetStats must reach the inner source; inner = %+v", st)
 	}
 }
 

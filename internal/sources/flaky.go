@@ -1,0 +1,111 @@
+package sources
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+)
+
+// FlakyConfig controls how a Flaky wrapper injects failures. Both knobs
+// are deterministic, so tests and benchmarks that exercise the retry
+// machinery are reproducible.
+type FlakyConfig struct {
+	// FailFirst fails the first N calls for each distinct (pattern,
+	// inputs) key before letting calls through. Retried calls for the
+	// same key therefore eventually succeed.
+	FailFirst int
+	// FailEveryN, when > 0, fails every Nth call overall (the 1st,
+	// N+1st, ... in arrival order), independent of key: a deterministic
+	// 1/N failure fraction.
+	FailEveryN int
+}
+
+// Flaky wraps a Source and injects transient failures according to a
+// deterministic schedule — the stand-in for rate-limited or unreliable
+// web services. Injected failures satisfy IsTransient and never reach
+// the inner source, so the inner meters count only successful traffic.
+// It is safe for concurrent use.
+type Flaky struct {
+	inner Source
+	cfg   FlakyConfig
+
+	mu       sync.Mutex
+	perKey   map[string]int // calls seen per key
+	total    int            // calls seen overall
+	injected int            // failures injected
+}
+
+// NewFlaky wraps src with a deterministic fault injector.
+func NewFlaky(src Source, cfg FlakyConfig) *Flaky {
+	return &Flaky{inner: src, cfg: cfg, perKey: map[string]int{}}
+}
+
+// Name implements Source.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// Arity implements Source.
+func (f *Flaky) Arity() int { return f.inner.Arity() }
+
+// Patterns implements Source.
+func (f *Flaky) Patterns() []access.Pattern { return f.inner.Patterns() }
+
+// Call implements Source.
+func (f *Flaky) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	return f.CallContext(context.Background(), p, inputs)
+}
+
+// CallContext implements ContextSource, consulting the failure schedule
+// before forwarding to the inner source.
+func (f *Flaky) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
+	key := string(p) + "\x00" + strings.Join(inputs, "\x1f")
+	f.mu.Lock()
+	f.total++
+	f.perKey[key]++
+	fail := f.perKey[key] <= f.cfg.FailFirst ||
+		(f.cfg.FailEveryN > 0 && (f.total-1)%f.cfg.FailEveryN == 0)
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, Transient(fmt.Errorf("sources: %s^%s(%s): injected transient failure", f.Name(), p, strings.Join(inputs, ",")))
+	}
+	return CallWithContext(ctx, f.inner, p, inputs)
+}
+
+// Injected returns how many failures the schedule has injected so far.
+func (f *Flaky) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// ResetSchedule restarts the failure schedule (the traffic meters of the
+// inner source are untouched; use ResetStats for those).
+func (f *Flaky) ResetSchedule() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.perKey = map[string]int{}
+	f.total, f.injected = 0, 0
+}
+
+// StatsSnapshot implements StatsReporter by forwarding to the wrapped
+// source: injected failures never reached it, so the counters are the
+// real traffic that got through.
+func (f *Flaky) StatsSnapshot() Stats {
+	if r, ok := f.inner.(StatsReporter); ok {
+		return r.StatsSnapshot()
+	}
+	return Stats{}
+}
+
+// ResetStats implements StatsReporter by forwarding to the wrapped
+// source.
+func (f *Flaky) ResetStats() {
+	if r, ok := f.inner.(StatsReporter); ok {
+		r.ResetStats()
+	}
+}

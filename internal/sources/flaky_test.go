@@ -1,0 +1,131 @@
+package sources
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestFlakyFailsFirstNPerKey(t *testing.T) {
+	b := bookTable(t)
+	f := NewFlaky(b, FlakyConfig{FailFirst: 2})
+	if f.Name() != "B" || f.Arity() != 3 || len(f.Patterns()) != 2 {
+		t.Error("wrapper must forward metadata")
+	}
+	for i := 0; i < 2; i++ {
+		_, err := f.Call("oio", []string{"knuth"})
+		if err == nil {
+			t.Fatalf("call %d: expected injected failure", i+1)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("call %d: injected error must be transient: %v", i+1, err)
+		}
+	}
+	rows, err := f.Call("oio", []string{"knuth"})
+	if err != nil {
+		t.Fatalf("third call must succeed: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// A different key has its own schedule.
+	if _, err := f.Call("ioo", []string{"i1"}); err == nil {
+		t.Error("fresh key must start failing again")
+	}
+	if f.Injected() != 3 {
+		t.Errorf("injected = %d, want 3", f.Injected())
+	}
+	// Inner meters saw only the one call that got through.
+	if st := f.StatsSnapshot(); st.Calls != 1 || st.TuplesReturned != 2 {
+		t.Errorf("forwarded stats = %+v, want 1 call / 2 tuples", st)
+	}
+	f.ResetStats()
+	if st := b.StatsSnapshot(); st.Calls != 0 {
+		t.Errorf("ResetStats must reach the inner table: %+v", st)
+	}
+}
+
+func TestFlakyDeterministicFraction(t *testing.T) {
+	b := bookTable(t)
+	f := NewFlaky(b, FlakyConfig{FailEveryN: 3})
+	var failed int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Call("ioo", []string{fmt.Sprintf("i%d", i%3+1)}); err != nil {
+			if !IsTransient(err) {
+				t.Fatalf("injected error must be transient: %v", err)
+			}
+			failed++
+		}
+	}
+	if failed != 3 || f.Injected() != 3 {
+		t.Errorf("failed=%d injected=%d, want 3/3 (every 3rd call)", failed, f.Injected())
+	}
+	f.ResetSchedule()
+	if f.Injected() != 0 {
+		t.Errorf("after ResetSchedule injected = %d", f.Injected())
+	}
+	if _, err := f.Call("ioo", []string{"i1"}); err == nil {
+		t.Error("schedule must restart: first call fails again")
+	}
+}
+
+func TestFlakyContractErrorsAreNotTransient(t *testing.T) {
+	f := NewFlaky(bookTable(t), FlakyConfig{})
+	_, err := f.Call("ooo", nil)
+	if err == nil {
+		t.Fatal("undeclared pattern must error")
+	}
+	if IsTransient(err) {
+		t.Error("contract violations must not be classified transient")
+	}
+	if f.Injected() != 0 {
+		t.Errorf("injected = %d, want 0", f.Injected())
+	}
+}
+
+func TestFlakyHonorsContext(t *testing.T) {
+	f := NewFlaky(bookTable(t), FlakyConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.CallContext(ctx, "ioo", []string{"i1"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+	base := errors.New("boom")
+	te := Transient(base)
+	if !IsTransient(te) || !errors.Is(te, base) {
+		t.Error("transient wrapper must classify and unwrap")
+	}
+	if IsTransient(base) || IsTransient(context.Canceled) {
+		t.Error("plain and context errors must not be transient")
+	}
+	wrapped := fmt.Errorf("call failed: %w", te)
+	if !IsTransient(wrapped) {
+		t.Error("IsTransient must see through wrapping")
+	}
+}
+
+func TestFlakyCachedCatalogStats(t *testing.T) {
+	// The full production stack: Cached(Flaky(Table)). TotalStats must
+	// still surface the table's real traffic through both wrappers.
+	b := MustTable("R", 2, []access.Pattern{"io"}, []Tuple{{"k", "v"}})
+	c := NewCached(NewFlaky(b, FlakyConfig{}))
+	cat := MustCatalog(c)
+	if _, err := c.Call("io", []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("io", []string{"k"}); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if st := cat.TotalStats(); st.Calls != 1 || st.TuplesReturned != 1 {
+		t.Errorf("TotalStats through Cached(Flaky(Table)) = %+v", st)
+	}
+}

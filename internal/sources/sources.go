@@ -13,6 +13,8 @@
 package sources
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,6 +49,68 @@ type Source interface {
 type Stats struct {
 	Calls          int // number of Call invocations
 	TuplesReturned int // total tuples transferred
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Calls += other.Calls
+	s.TuplesReturned += other.TuplesReturned
+}
+
+// StatsReporter is implemented by sources that meter their traffic.
+// Wrappers (Cached, Flaky, ...) forward to the wrapped source, so a
+// catalog of wrapped sources still reports the real remote traffic.
+type StatsReporter interface {
+	// StatsSnapshot returns a snapshot of the traffic counters.
+	StatsSnapshot() Stats
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+}
+
+// ContextSource is implemented by sources whose calls honor a
+// context.Context (cancellation, deadlines). Use CallWithContext to call
+// any Source with a context: it uses CallContext when available and
+// falls back to a pre-call cancellation check otherwise.
+type ContextSource interface {
+	Source
+	CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error)
+}
+
+// CallWithContext invokes the source, honoring ctx as far as the source
+// allows. Context errors are reported as-is (and are never transient).
+func CallWithContext(ctx context.Context, s Source, p access.Pattern, inputs []string) ([]Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := s.(ContextSource); ok {
+		return cs.CallContext(ctx, p, inputs)
+	}
+	return s.Call(p, inputs)
+}
+
+// transientError marks a source failure as transient: the call may
+// succeed if retried (network blips, rate limiting, service restarts).
+// Contract violations (undeclared pattern, wrong input count) are
+// permanent and are never marked transient.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err to mark it as a transient source failure. A nil
+// err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a transient source
+// failure, i.e. one worth retrying.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
 }
 
 // Table is an in-memory Source over a fixed set of tuples, with one hash
@@ -159,7 +223,16 @@ func (t *Table) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of the source's traffic counters.
+// CallContext implements ContextSource. The table answers from memory,
+// so the context is only checked before the lookup.
+func (t *Table) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Call(p, inputs)
+}
+
+// StatsSnapshot returns a snapshot of the source's traffic counters.
 func (t *Table) StatsSnapshot() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -236,24 +309,24 @@ func (c *Catalog) PatternSet() *access.Set {
 	return set
 }
 
-// TotalStats sums the traffic of all Table sources in the catalog.
+// TotalStats sums the traffic of every metering source in the catalog.
+// Wrappers such as Cached and Flaky forward their inner source's
+// counters, so a wrapped catalog reports the real remote traffic.
 func (c *Catalog) TotalStats() Stats {
 	var total Stats
 	for _, s := range c.byName {
-		if t, ok := s.(*Table); ok {
-			st := t.StatsSnapshot()
-			total.Calls += st.Calls
-			total.TuplesReturned += st.TuplesReturned
+		if r, ok := s.(StatsReporter); ok {
+			total.Add(r.StatsSnapshot())
 		}
 	}
 	return total
 }
 
-// ResetStats zeroes the traffic of all Table sources in the catalog.
+// ResetStats zeroes the traffic of every metering source in the catalog.
 func (c *Catalog) ResetStats() {
 	for _, s := range c.byName {
-		if t, ok := s.(*Table); ok {
-			t.ResetStats()
+		if r, ok := s.(StatsReporter); ok {
+			r.ResetStats()
 		}
 	}
 }
