@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench paperbench check
+.PHONY: all build vet test test-race bench bench-smoke paperbench check
 
 all: check
 
@@ -20,6 +20,12 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One pass over the runtime-heavy benchmarks (E19 dedup ablation and the
+# E20 streaming pipeline): runs each once, which also exercises their
+# built-in acceptance assertions.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='E19|E20' -benchtime=1x .
 
 paperbench:
 	$(GO) run ./cmd/paperbench -quick

@@ -1,6 +1,6 @@
 package ucqn
 
-// One testing.B benchmark per experiment of DESIGN.md (E1–E19), plus
+// One testing.B benchmark per experiment of DESIGN.md (E1–E20), plus
 // microbenchmarks for the extension subsystems. `go test -bench=.
 // -benchmem` regenerates every number; cmd/paperbench prints the same
 // series as human-readable tables.
@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/containment"
@@ -543,6 +544,100 @@ func BenchmarkE19RuntimeDedup(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E20: the streaming pipeline vs materializing evaluation over sources
+// with a simulated network round trip. The benchmark asserts the
+// acceptance properties up front — a byte-identical drained answer set,
+// no increase in total source calls, and a strictly earlier first tuple
+// — then times both modes end to end.
+func BenchmarkE20StreamingPipeline(b *testing.B) {
+	q := MustParseQuery(`Q(x, y) :- R(x, z), S(z, w), T(w, y).`)
+	ps := MustParsePatterns(`R^oo S^io T^io`)
+	in := engine.NewInstance()
+	for i := 0; i < 120; i++ {
+		in.MustAdd("R", fmt.Sprintf("x%d", i), fmt.Sprintf("z%d", i))
+		in.MustAdd("S", fmt.Sprintf("z%d", i), fmt.Sprintf("w%d", i))
+		in.MustAdd("T", fmt.Sprintf("w%d", i), fmt.Sprintf("y%d", i))
+	}
+	rt := NewRuntime()
+	rt.BatchSize = 16
+	delayed := func() *Catalog {
+		cat, err := DelayedCatalog(in.MustCatalog(ps), 200*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cat
+	}
+
+	matCat := delayed()
+	matStart := time.Now()
+	matAns, err := rt.Answer(context.Background(), q, ps, matCat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matElapsed := time.Since(matStart)
+
+	strCat := delayed()
+	strStart := time.Now()
+	s, err := rt.Stream(context.Background(), q, ps, strCat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !s.Next() {
+		b.Fatalf("stream produced no tuples: %v", s.Err())
+	}
+	ttft := time.Since(strStart)
+	strAns := engine.NewRel()
+	strAns.Add(s.Tuple())
+	for s.Next() {
+		strAns.Add(s.Tuple())
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	matRows, strRows := matAns.Rows(), strAns.Rows()
+	if len(matRows) != len(strRows) {
+		b.Fatalf("answer counts differ: materialized=%d streamed=%d", len(matRows), len(strRows))
+	}
+	for i := range matRows {
+		if matRows[i].Key() != strRows[i].Key() {
+			b.Fatalf("row %d differs: materialized=%s streamed=%s", i, matRows[i], strRows[i])
+		}
+	}
+	matCalls, strCalls := matCat.TotalStats().Calls, strCat.TotalStats().Calls
+	if strCalls > matCalls {
+		b.Fatalf("streaming must not issue more calls: %d vs %d", strCalls, matCalls)
+	}
+	if ttft >= matElapsed {
+		b.Fatalf("first streamed tuple (%v) must beat the materialized total (%v)", ttft, matElapsed)
+	}
+	b.Logf("calls: materialized=%d streamed=%d; first tuple %v vs materialized total %v",
+		matCalls, strCalls, ttft.Round(time.Microsecond), matElapsed.Round(time.Microsecond))
+
+	b.Run("materialized", func(b *testing.B) {
+		cat := delayed()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Answer(context.Background(), q, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		cat := delayed()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := rt.Stream(context.Background(), q, ps, cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Parallel vs sequential rule evaluation on a wide union.

@@ -1,0 +1,281 @@
+package ucqn
+
+// Exec is the single context-first entry point for every way this
+// package evaluates a query: materialized, parallel, profiled, streamed,
+// ANSWER*, semantically optimized, cost-ordered, or naive ground truth.
+// The historical Answer* functions remain as thin deprecated wrappers
+// around it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Stream is a pull-style iterator over answer tuples produced by a
+// pipelined streaming execution (Exec with WithStreaming): call Next
+// until it returns false, read each tuple with Tuple, then check Err and
+// Close (Drain does all of that into a Rel).
+type Stream = engine.Stream
+
+// execConfig is the option-resolved shape of one Exec call.
+type execConfig struct {
+	rt        *Runtime
+	parallel  bool
+	profile   bool
+	streaming bool
+	star      bool
+	improve   bool
+	maxCalls  int
+	naive     *Instance
+	inds      INDSet
+	hasINDs   bool
+	stats     PlanStats
+	hasStats  bool
+}
+
+// ExecOption configures Exec; build them with the With... constructors.
+type ExecOption func(*execConfig)
+
+// WithRuntime makes Exec use rt (deduplication, worker pool, retry,
+// batch-size and stage-buffer knobs) instead of the shared default
+// runtime.
+func WithRuntime(rt *Runtime) ExecOption { return func(c *execConfig) { c.rt = rt } }
+
+// WithParallelRules evaluates the rules of the union concurrently, one
+// pipeline or materializer per rule.
+func WithParallelRules() ExecOption { return func(c *execConfig) { c.parallel = true } }
+
+// WithProfile records per-step execution accounting; read it with
+// Result.Profile. With WithStreaming the profile becomes available once
+// the stream finishes.
+func WithProfile() ExecOption { return func(c *execConfig) { c.profile = true } }
+
+// WithINDs semantically optimizes the query under the inclusion
+// dependencies before planning (rules whose chase is unsatisfiable are
+// dropped, Example 6 of the paper). Use only when the sources' data
+// satisfies the dependencies.
+func WithINDs(inds INDSet) ExecOption {
+	return func(c *execConfig) { c.inds, c.hasINDs = inds, true }
+}
+
+// WithStats reorders each rule to minimize estimated source calls under
+// the given cardinality statistics before executing.
+func WithStats(st PlanStats) ExecOption {
+	return func(c *execConfig) { c.stats, c.hasStats = st, true }
+}
+
+// WithStreaming executes the plan as a pipeline and exposes the answers
+// through Result.Stream: head tuples become available while upstream
+// steps are still calling sources. Exec returns as soon as the pipeline
+// has started; runtime failures surface through the stream.
+func WithStreaming() ExecOption { return func(c *execConfig) { c.streaming = true } }
+
+// WithAnswerStar runs the full ANSWER* algorithm (Figure 4): Result.Rel
+// is the certain underestimate and Result.Star carries the completeness
+// report.
+func WithAnswerStar() ExecOption { return func(c *execConfig) { c.star = true } }
+
+// WithImproveUnder is WithAnswerStar followed by the domain-enumeration
+// improvement of the underestimate (Example 8), spending at most
+// maxCalls source calls on enumeration. Result.Rel is the improved
+// underestimate; Result.Improved has the improved rules and enumeration
+// metadata.
+func WithImproveUnder(maxCalls int) ExecOption {
+	return func(c *execConfig) { c.star, c.improve, c.maxCalls = true, true, maxCalls }
+}
+
+// WithNaive evaluates the query directly over the instance, ignoring
+// access patterns — the ground truth for experiments. ps and cat may be
+// nil; no other option combines with it.
+func WithNaive(in *Instance) ExecOption { return func(c *execConfig) { c.naive = in } }
+
+// Result is the handle Exec returns. Which accessors are populated
+// depends on the options: Rel always yields the materialized answers
+// (draining the stream first in streaming mode), Stream is non-nil only
+// with WithStreaming, Profile reports ok only with WithProfile, Star and
+// Improved only with WithAnswerStar / WithImproveUnder.
+type Result struct {
+	rel    *Rel
+	stream *Stream
+
+	profiled bool
+	prof     ExecProfile
+
+	star    *AnswerStar
+	improve bool
+	rules   Query
+	dom     DomResult
+}
+
+// Rel returns the materialized answers. In streaming mode the first call
+// drains the stream (subsequent calls reuse the result); a pipeline
+// failure is returned as the error.
+func (r *Result) Rel() (*Rel, error) {
+	if r.rel == nil && r.stream != nil {
+		rel, err := r.stream.Drain()
+		if err != nil {
+			return nil, err
+		}
+		r.rel = rel
+	}
+	return r.rel, nil
+}
+
+// Stream returns the answer stream, or nil unless the query ran with
+// WithStreaming. The caller owns it: iterate with Next/Tuple and Close
+// it (or use Drain, or Result.Rel).
+func (r *Result) Stream() *Stream { return r.stream }
+
+// Profile returns the execution profile and whether one was recorded
+// (requires WithProfile). In streaming mode it is complete only after
+// the stream finished — ok is false before that.
+func (r *Result) Profile() (ExecProfile, bool) {
+	if !r.profiled {
+		return ExecProfile{}, false
+	}
+	if r.stream != nil {
+		return r.stream.Profile()
+	}
+	return r.prof, true
+}
+
+// Star returns the ANSWER* report (requires WithAnswerStar or
+// WithImproveUnder).
+func (r *Result) Star() (AnswerStar, bool) {
+	if r.star == nil {
+		return AnswerStar{}, false
+	}
+	return *r.star, true
+}
+
+// Improved returns the domain-enumeration-improved underestimate rules
+// and the enumeration outcome (requires WithImproveUnder).
+func (r *Result) Improved() (Query, DomResult, bool) {
+	if !r.improve {
+		return Query{}, DomResult{}, false
+	}
+	return r.rules, r.dom, true
+}
+
+// Exec evaluates q against the limited-access catalog under the declared
+// patterns, honoring ctx through every source call. With no options it
+// is the materialized Answer on the default runtime; options select the
+// runtime, rule parallelism, profiling, streaming, ANSWER*, semantic
+// optimization, cost-based ordering, or naive ground-truth evaluation.
+//
+//	res, err := ucqn.Exec(ctx, q, ps, cat, ucqn.WithStreaming())
+//	if err != nil { ... }
+//	s := res.Stream()
+//	defer s.Close()
+//	for s.Next() { use(s.Tuple()) }
+//	if err := s.Err(); err != nil { ... }
+//
+// Exec returns an error for contradictory option combinations (see each
+// option), for unplannable queries, and — except in streaming mode,
+// where runtime failures surface through Stream.Err — for execution
+// failures.
+func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...ExecOption) (*Result, error) {
+	var c execConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.naive != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rel, err := engine.AnswerNaive(q, c.naive)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{rel: rel}, nil
+	}
+	rt := c.rt
+	if rt == nil {
+		rt = engine.DefaultRuntime()
+	}
+	if c.hasINDs {
+		q = c.inds.OptimizeChase(q)
+	}
+	if c.hasStats {
+		ordered, ok := core.CostOrderUCQ(q, ps, c.stats)
+		if !ok {
+			return nil, errors.New("ucqn: query is not orderable under the declared access patterns")
+		}
+		q = ordered
+	}
+	switch {
+	case c.star:
+		star, err := rt.RunAnswerStar(ctx, q, ps, cat)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{rel: star.Under, star: &star}
+		if c.improve {
+			improved, rules, dom, err := rt.ImproveUnder(ctx, star, ps, cat, c.maxCalls)
+			if err != nil {
+				return nil, err
+			}
+			res.rel, res.improve, res.rules, res.dom = improved, true, rules, dom
+		}
+		return res, nil
+	case c.streaming:
+		var s *Stream
+		var err error
+		if c.parallel {
+			s, err = rt.StreamParallel(ctx, q, ps, cat)
+		} else {
+			s, err = rt.Stream(ctx, q, ps, cat)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{stream: s, profiled: c.profile}, nil
+	case c.profile:
+		rel, prof, err := rt.AnswerProfiled(ctx, q, ps, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{rel: rel, profiled: true, prof: prof}, nil
+	case c.parallel:
+		rel, err := rt.AnswerParallel(ctx, q, ps, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{rel: rel}, nil
+	default:
+		rel, err := rt.Answer(ctx, q, ps, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{rel: rel}, nil
+	}
+}
+
+// validate rejects contradictory option combinations up front.
+func (c *execConfig) validate() error {
+	if c.naive != nil {
+		switch {
+		case c.star, c.streaming, c.profile, c.parallel:
+			return errors.New("ucqn: WithNaive does not combine with execution options")
+		case c.hasINDs, c.hasStats, c.rt != nil:
+			return errors.New("ucqn: WithNaive ignores access patterns; planning options do not apply")
+		}
+		return nil
+	}
+	if c.star {
+		if c.streaming || c.profile || c.parallel {
+			return errors.New("ucqn: WithAnswerStar does not combine with streaming, profiling, or parallel rules")
+		}
+	}
+	if c.profile && c.parallel && !c.streaming {
+		return fmt.Errorf("ucqn: materialized profiling is per rule in sequence; combine WithProfile + WithParallelRules only with WithStreaming")
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package ucqn
+
+// Exec facade tests: every option agrees with the deprecated wrapper it
+// replaces, contradictory combinations are rejected up front, and the
+// streaming path drains to the same answers.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// execFixture returns a two-rule union with shared lookups, its
+// patterns, and a loaded instance.
+func execFixture(t *testing.T) (Query, *PatternSet, *Instance) {
+	t.Helper()
+	q := MustParseQuery(`
+		Q(x, y) :- R(x, z), T(z, y).
+		Q(x, y) :- S(x, y), not L(x).
+	`)
+	ps := MustParsePatterns(`R^oo T^io S^oo L^i`)
+	in := NewInstance()
+	for i := 0; i < 40; i++ {
+		in.MustAdd("R", fmt.Sprintf("x%d", i), fmt.Sprintf("z%d", i%5))
+	}
+	for z := 0; z < 5; z++ {
+		in.MustAdd("T", fmt.Sprintf("z%d", z), fmt.Sprintf("y%d", z))
+	}
+	in.MustAdd("S", "s1", "t1").MustAdd("S", "s2", "t2").MustAdd("L", "s2")
+	return q, ps, in
+}
+
+func TestExecDefaultMatchesAnswer(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec = %s, want %s", got, want)
+	}
+	if res.Stream() != nil {
+		t.Error("Stream must be nil without WithStreaming")
+	}
+	if _, ok := res.Profile(); ok {
+		t.Error("Profile must be absent without WithProfile")
+	}
+}
+
+func TestExecParallelRules(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := AnswerParallel(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithParallelRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec parallel = %s, want %s", got, want)
+	}
+}
+
+func TestExecProfile(t *testing.T) {
+	q, ps, in := execFixture(t)
+	_, wantProf, err := AnswerProfiled(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := res.Profile()
+	if !ok {
+		t.Fatal("profile must be recorded with WithProfile")
+	}
+	if prof.TotalCalls() != wantProf.TotalCalls() || prof.TotalDeduped() != wantProf.TotalDeduped() {
+		t.Errorf("profile traffic %d/%d, want %d/%d",
+			prof.TotalCalls(), prof.TotalDeduped(), wantProf.TotalCalls(), wantProf.TotalDeduped())
+	}
+	if prof.Elapsed <= 0 {
+		t.Error("profile must carry wall-clock time")
+	}
+}
+
+func TestExecNaive(t *testing.T) {
+	q, _, in := execFixture(t)
+	want, err := AnswerNaive(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, nil, nil, WithNaive(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec naive = %s, want %s", got, want)
+	}
+}
+
+func TestExecAnswerStar(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, ok := res.Star()
+	if !ok {
+		t.Fatal("Star must be populated with WithAnswerStar")
+	}
+	if star.Report() != want.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(want.Under) {
+		t.Errorf("Rel must be the underestimate: %s vs %s", rel, want.Under)
+	}
+}
+
+func TestExecStarUnderINDs(t *testing.T) {
+	q := MustParseQuery(`
+		Q(x) :- A(x).
+		Q(x) :- B(x, z), not C(z).
+	`)
+	ps := MustParsePatterns(`A^o B^oo C^i`)
+	inds := MustParseINDs(`B[1] < C[0]`)
+	in := NewInstance().MustAdd("A", "a").MustAdd("B", "b", "c").MustAdd("C", "c")
+	want, err := AnswerStarUnder(q, ps, in.MustCatalog(ps), inds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar(), WithINDs(inds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, ok := res.Star()
+	if !ok {
+		t.Fatal("Star must be populated")
+	}
+	if star.Report() != want.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
+	}
+}
+
+func TestExecImproveUnder(t *testing.T) {
+	// S(y, x) is unanswerable as written (y has no binder), so PLAN*
+	// under-approximates; domain enumeration re-admits it through dom(y).
+	q := MustParseQuery(`Q(x) :- R(x), S(y, x).`)
+	ps := MustParsePatterns(`R^o S^io`)
+	in := NewInstance().MustAdd("R", "a").MustAdd("R", "b").MustAdd("S", "a", "b")
+
+	star, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRel, wantRules, wantDom, err := ImproveUnder(star, ps, in.MustCatalog(ps), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithImproveUnder(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(wantRel) {
+		t.Errorf("improved = %s, want %s", rel, wantRel)
+	}
+	rules, dom, ok := res.Improved()
+	if !ok {
+		t.Fatal("Improved must be populated with WithImproveUnder")
+	}
+	if rules.String() != wantRules.String() {
+		t.Errorf("improved rules = %s, want %s", rules, wantRules)
+	}
+	if dom.Calls != wantDom.Calls || len(dom.Values) != len(wantDom.Values) {
+		t.Errorf("dom = %+v, want %+v", dom, wantDom)
+	}
+	if _, ok := res.Star(); !ok {
+		t.Error("WithImproveUnder implies the ANSWER* report")
+	}
+}
+
+func TestExecStreaming(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []bool{false, true} {
+		opts := []ExecOption{WithStreaming(), WithProfile()}
+		if parallel {
+			opts = append(opts, WithParallelRules())
+		}
+		res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stream()
+		if s == nil {
+			t.Fatal("Stream must be non-nil with WithStreaming")
+		}
+		if _, ok := res.Profile(); ok {
+			t.Error("streamed profile must not be complete before draining")
+		}
+		got, err := res.Rel() // drains
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("streamed (parallel=%v) = %s, want %s", parallel, got, want)
+		}
+		again, err := res.Rel() // cached after the drain
+		if err != nil || again != got {
+			t.Errorf("second Rel must reuse the drained set: %v", err)
+		}
+		prof, ok := res.Profile()
+		if !ok {
+			t.Fatal("streamed profile must be complete after draining")
+		}
+		if prof.TimeToFirst <= 0 {
+			t.Error("streamed profile must record time to first tuple")
+		}
+	}
+}
+
+func TestExecWithStats(t *testing.T) {
+	q, ps, in := execFixture(t)
+	st := StatsFromCardinalities(map[string]int{"R": 40, "T": 5, "S": 2, "L": 1})
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithStats(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("cost-ordered Exec = %s, want %s", got, want)
+	}
+}
+
+func TestExecWithRuntimeKnobs(t *testing.T) {
+	q, ps, in := execFixture(t)
+	rt := NewRuntime()
+	rt.BatchSize, rt.StageBuffer = 4, 2
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithRuntime(rt), WithStreaming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec with runtime knobs = %s, want %s", got, want)
+	}
+}
+
+func TestExecRejectsContradictoryOptions(t *testing.T) {
+	q, ps, in := execFixture(t)
+	cat := in.MustCatalog(ps)
+	cases := []struct {
+		name string
+		opts []ExecOption
+	}{
+		{"naive+streaming", []ExecOption{WithNaive(in), WithStreaming()}},
+		{"naive+star", []ExecOption{WithNaive(in), WithAnswerStar()}},
+		{"naive+inds", []ExecOption{WithNaive(in), WithINDs(nil)}},
+		{"star+streaming", []ExecOption{WithAnswerStar(), WithStreaming()}},
+		{"star+parallel", []ExecOption{WithAnswerStar(), WithParallelRules()}},
+		{"profile+parallel materialized", []ExecOption{WithProfile(), WithParallelRules()}},
+	}
+	for _, c := range cases {
+		if _, err := Exec(context.Background(), q, ps, cat, c.opts...); err == nil {
+			t.Errorf("%s: contradictory options must be rejected", c.name)
+		}
+	}
+}
+
+func TestExecHonorsContext(t *testing.T) {
+	q, ps, in := execFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Exec(ctx, q, ps, in.MustCatalog(ps)); err == nil {
+		t.Error("cancelled context must abort materialized Exec")
+	}
+	if _, err := Exec(ctx, q, nil, nil, WithNaive(in)); err == nil {
+		t.Error("cancelled context must abort naive Exec")
+	}
+}

@@ -7,6 +7,9 @@ package ucqn
 // fast path (Section 5.1), and source-call caching.
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/constraints"
 	"repro/internal/containment"
 	"repro/internal/core"
@@ -67,8 +70,16 @@ func FeasibleUnder(q Query, ps *PatternSet, inds INDSet) FeasibleResult {
 // AnswerStarUnder runs ANSWER* on the semantically optimized query
 // (rules the dependencies refute are dropped before planning). Use only
 // when the sources' data satisfies the dependencies.
+//
+// Deprecated: use Exec with WithAnswerStar and WithINDs(inds) and read
+// Result.Star.
 func AnswerStarUnder(q Query, ps *PatternSet, cat *Catalog, inds INDSet) (AnswerStar, error) {
-	return constraints.AnswerStarUnder(q, ps, cat, inds)
+	res, err := Exec(context.Background(), q, ps, cat, WithAnswerStar(), WithINDs(inds))
+	if err != nil {
+		return AnswerStar{}, err
+	}
+	star, _ := res.Star()
+	return star, nil
 }
 
 // OptimizeOrder returns an executable reordering of the query chosen to
@@ -129,14 +140,32 @@ func VerifyWitness(p Rule, q Query, w *Witness) error {
 
 // AnswerParallel evaluates the plan with one goroutine per rule (the
 // paper's "execute each rule separately, possibly in parallel").
+//
+// Deprecated: use Exec with WithParallelRules.
 func AnswerParallel(q Query, ps *PatternSet, cat *Catalog) (*Rel, error) {
-	return engine.AnswerParallel(q, ps, cat)
+	res, err := Exec(context.Background(), q, ps, cat, WithParallelRules())
+	if err != nil {
+		return nil, err
+	}
+	return res.Rel()
 }
 
 // AnswerProfiled is Answer with per-step execution accounting (an
 // EXPLAIN ANALYZE for limited-access plans).
+//
+// Deprecated: use Exec with WithProfile and read Result.Rel and
+// Result.Profile.
 func AnswerProfiled(q Query, ps *PatternSet, cat *Catalog) (*Rel, ExecProfile, error) {
-	return engine.AnswerProfiled(q, ps, cat)
+	res, err := Exec(context.Background(), q, ps, cat, WithProfile())
+	if err != nil {
+		return nil, ExecProfile{}, err
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		return nil, ExecProfile{}, err
+	}
+	prof, _ := res.Profile()
+	return rel, prof, nil
 }
 
 // ExecProfile is the execution profile of a plan: per-step source calls,
@@ -205,6 +234,21 @@ type FlakyConfig = sources.FlakyConfig
 // NewFlakySource wraps src with a fault injector.
 func NewFlakySource(src Source, cfg FlakyConfig) *FlakySource {
 	return sources.NewFlaky(src, cfg)
+}
+
+// DelayedSource wraps a source with a fixed per-call latency — the
+// simulated network round trip that streaming pipelines overlap.
+type DelayedSource = sources.Delayed
+
+// NewDelayedSource wraps src so every call takes at least d.
+func NewDelayedSource(src Source, d time.Duration) *DelayedSource {
+	return sources.NewDelayed(src, d)
+}
+
+// DelayedCatalog wraps every source of the catalog with the same
+// per-call latency.
+func DelayedCatalog(cat *Catalog, d time.Duration) (*Catalog, error) {
+	return sources.DelayedCatalog(cat, d)
 }
 
 // Transient marks an error as a transient source failure (retryable by

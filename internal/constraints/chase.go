@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -162,5 +163,14 @@ func FeasibleUnder(u logic.UCQ, ps *access.Set, s Set) core.FeasibleResult {
 // counterpart of Example 6's runtime observation). The caller must only
 // use it when the catalog's data satisfies the dependencies.
 func AnswerStarUnder(u logic.UCQ, ps *access.Set, cat *sources.Catalog, s Set) (engine.AnswerStar, error) {
-	return engine.RunAnswerStar(s.OptimizeChase(u), ps, cat)
+	return AnswerStarUnderContext(context.Background(), nil, u, ps, cat, s)
+}
+
+// AnswerStarUnderContext is AnswerStarUnder honoring a context and an
+// explicit runtime (nil means the engine's default runtime).
+func AnswerStarUnderContext(ctx context.Context, rt *engine.Runtime, u logic.UCQ, ps *access.Set, cat *sources.Catalog, s Set) (engine.AnswerStar, error) {
+	if rt == nil {
+		rt = engine.DefaultRuntime()
+	}
+	return rt.RunAnswerStar(ctx, s.OptimizeChase(u), ps, cat)
 }

@@ -103,7 +103,17 @@ func (rt *Runtime) RunAnswerStarWithPlans(ctx context.Context, plans core.PlanSt
 // returns the improved underestimate relation and the improved rules
 // used, along with the enumeration metadata.
 func ImproveUnder(a AnswerStar, ps *access.Set, cat *sources.Catalog, maxCalls int) (*Rel, logic.UCQ, DomResult, error) {
-	dom := EnumerateDomain(cat, nil, maxCalls)
+	return defaultRuntime.ImproveUnder(context.Background(), a, ps, cat, maxCalls)
+}
+
+// ImproveUnder is the package-level ImproveUnder on this runtime,
+// honoring the context through both the domain enumeration and the
+// improved-rule evaluation.
+func (rt *Runtime) ImproveUnder(ctx context.Context, a AnswerStar, ps *access.Set, cat *sources.Catalog, maxCalls int) (*Rel, logic.UCQ, DomResult, error) {
+	dom, err := EnumerateDomainContext(ctx, cat, nil, maxCalls)
+	if err != nil {
+		return nil, logic.UCQ{}, dom, err
+	}
 	cat2, ps2, err := WithDomSource(cat, ps, dom.Values)
 	if err != nil {
 		return nil, logic.UCQ{}, dom, err
@@ -125,7 +135,7 @@ func ImproveUnder(a AnswerStar, ps *access.Set, cat *sources.Catalog, maxCalls i
 		return improved, logic.UCQ{}, dom, nil
 	}
 	u := logic.UCQ{Rules: rules}
-	extra, err := Answer(u, ps2, cat2)
+	extra, err := rt.Answer(ctx, u, ps2, cat2)
 	if err != nil {
 		return nil, u, dom, fmt.Errorf("engine: evaluating improved underestimate: %w", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -34,6 +35,14 @@ type DomResult struct {
 // the set of values retrievable from the sources, a sound domain for
 // dom(x) atoms.
 func EnumerateDomain(cat *sources.Catalog, seeds []string, maxCalls int) DomResult {
+	res, _ := EnumerateDomainContext(context.Background(), cat, seeds, maxCalls)
+	return res
+}
+
+// EnumerateDomainContext is EnumerateDomain honoring a context: on
+// cancellation it stops issuing calls and returns the context error
+// alongside the (truncated, still sound) domain enumerated so far.
+func EnumerateDomainContext(ctx context.Context, cat *sources.Catalog, seeds []string, maxCalls int) (DomResult, error) {
 	dom := map[string]bool{}
 	for _, s := range seeds {
 		dom[s] = true
@@ -45,12 +54,12 @@ func EnumerateDomain(cat *sources.Catalog, seeds []string, maxCalls int) DomResu
 		for _, name := range cat.Names() {
 			src := cat.Source(name)
 			for _, p := range src.Patterns() {
-				grewHere, stop := enumeratePattern(src, p, dom, called, &res, maxCalls)
+				grewHere, stop, err := enumeratePattern(ctx, src, p, dom, called, &res, maxCalls)
 				grew = grew || grewHere
-				if stop {
+				if stop || err != nil {
 					res.Truncated = true
 					res.Values = sortedKeys(dom)
-					return res
+					return res, err
 				}
 			}
 		}
@@ -59,17 +68,18 @@ func EnumerateDomain(cat *sources.Catalog, seeds []string, maxCalls int) DomResu
 		}
 	}
 	res.Values = sortedKeys(dom)
-	return res
+	return res, nil
 }
 
 // enumeratePattern issues all not-yet-made calls to src^p whose inputs
 // are drawn from dom, adding returned values to dom. It reports whether
-// dom grew and whether the call budget ran out.
-func enumeratePattern(src sources.Source, p access.Pattern, dom map[string]bool, called map[string]bool, res *DomResult, maxCalls int) (grew, stop bool) {
+// dom grew and whether the call budget ran out; a context error aborts
+// the enumeration.
+func enumeratePattern(ctx context.Context, src sources.Source, p access.Pattern, dom map[string]bool, called map[string]bool, res *DomResult, maxCalls int) (grew, stop bool, ctxErr error) {
 	k := p.InputCount()
 	values := sortedKeys(dom)
 	if k > 0 && len(values) == 0 {
-		return false, false
+		return false, false, nil
 	}
 	inputs := make([]string, k)
 	var rec func(i int) bool // returns true to stop
@@ -80,12 +90,22 @@ func enumeratePattern(src sources.Source, p access.Pattern, dom map[string]bool,
 				return false
 			}
 			if res.Calls >= maxCalls {
+				stop = true
+				return true
+			}
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
 				return true
 			}
 			called[key] = true
 			res.Calls++
-			tuples, err := src.Call(p, append([]string(nil), inputs...))
-			if err != nil {
+			tuples, err := sources.CallWithContext(ctx, src, p, append([]string(nil), inputs...))
+			switch {
+			case err == nil:
+			case ctx.Err() != nil:
+				ctxErr = ctx.Err()
+				return true
+			default:
 				return false // pattern/source mismatch; skip
 			}
 			for _, t := range tuples {
@@ -106,8 +126,8 @@ func enumeratePattern(src sources.Source, p access.Pattern, dom map[string]bool,
 		}
 		return false
 	}
-	stop = rec(0)
-	return grew, stop
+	rec(0)
+	return grew, stop, ctxErr
 }
 
 func sortedKeys(m map[string]bool) []string {

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/logic"
@@ -78,21 +79,32 @@ func (rt *Runtime) AnswerSteps(ctx context.Context, q logic.CQ, steps []access.A
 // step the runtime batches the bindings' source calls (see applyStep);
 // across steps the binding set flows left to right as in the paper.
 func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+	ruleStart := time.Now()
 	bindings := []binding{{}}
 	for _, step := range steps {
 		var sp StepProfile
 		sp.Step = step
 		sp.BindingsIn = len(bindings)
+		start := time.Now()
 		var err error
-		bindings, err = rt.applyStep(ctx, step, cat, bindings, &sp)
+		bindings, err = rt.applyStep(ctx, step, cat, bindings, &sp, nil)
+		sp.Elapsed = time.Since(start)
 		if err != nil {
 			return err
 		}
 		sp.BindingsOut = len(bindings)
 		if prof != nil {
 			prof.Steps = append(prof.Steps, sp)
+			// Materializing evaluation holds the step's input and output
+			// binding sets live at once.
+			if resident := sp.BindingsIn + sp.BindingsOut; resident > prof.PeakBindings {
+				prof.PeakBindings = resident
+			}
 		}
 		if len(bindings) == 0 {
+			if prof != nil {
+				prof.Elapsed = time.Since(ruleStart)
+			}
 			return nil
 		}
 	}
@@ -104,6 +116,9 @@ func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.Ador
 		if out.Add(row) && prof != nil {
 			prof.Answers++
 		}
+	}
+	if prof != nil {
+		prof.Elapsed = time.Since(ruleStart)
 	}
 	return nil
 }

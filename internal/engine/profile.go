@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/logic"
@@ -33,6 +34,11 @@ type StepProfile struct {
 	// MaxInFlight is the peak number of concurrent calls the step had
 	// outstanding against the source.
 	MaxInFlight int
+	// Elapsed is the wall-clock time spent in this step: issuing its
+	// source calls and joining the results. In a streamed pipeline it is
+	// the stage's busy time summed over batches (stages overlap, so step
+	// times may sum to more than the rule's Elapsed).
+	Elapsed time.Duration
 }
 
 // String renders one profile line.
@@ -45,6 +51,9 @@ func (sp StepProfile) String() string {
 	if sp.MaxInFlight > 1 {
 		s += fmt.Sprintf(" inflight≤%d", sp.MaxInFlight)
 	}
+	if sp.Elapsed > 0 {
+		s += fmt.Sprintf(" t=%s", sp.Elapsed.Round(time.Microsecond))
+	}
 	return s
 }
 
@@ -53,11 +62,24 @@ type RuleProfile struct {
 	Rule    logic.CQ
 	Steps   []StepProfile
 	Answers int // new answer tuples this rule contributed
+	// Elapsed is the rule's wall-clock execution time, first step start
+	// to last answer.
+	Elapsed time.Duration
+	// PeakBindings is the high-water mark of bindings resident for this
+	// rule: input+output set of the widest step when materializing, the
+	// observed live-batch gauge when streaming.
+	PeakBindings int
 }
 
 // Profile is the execution profile of a whole plan.
 type Profile struct {
 	Rules []RuleProfile
+	// Elapsed is the whole plan's wall-clock time.
+	Elapsed time.Duration
+	// TimeToFirst is the delay from execution start to the first head
+	// tuple reaching the caller. Only streamed runs fill it; a
+	// materializing run delivers nothing before Elapsed.
+	TimeToFirst time.Duration
 }
 
 // TotalCalls sums source calls across all rules.
@@ -118,6 +140,18 @@ func (p Profile) MaxInFlight() int {
 	return m
 }
 
+// PeakBindings is the largest per-rule binding residency seen in the
+// plan (see RuleProfile.PeakBindings).
+func (p Profile) PeakBindings() int {
+	m := 0
+	for _, r := range p.Rules {
+		if r.PeakBindings > m {
+			m = r.PeakBindings
+		}
+	}
+	return m
+}
+
 // String renders the profile, one rule block per rule.
 func (p Profile) String() string {
 	var b strings.Builder
@@ -125,10 +159,20 @@ func (p Profile) String() string {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		fmt.Fprintf(&b, "rule %d: %s   (%d answers)\n", i+1, r.Rule, r.Answers)
+		fmt.Fprintf(&b, "rule %d: %s   (%d answers", i+1, r.Rule, r.Answers)
+		if r.Elapsed > 0 {
+			fmt.Fprintf(&b, ", %s", r.Elapsed.Round(time.Microsecond))
+		}
+		b.WriteString(")\n")
 		for _, s := range r.Steps {
 			fmt.Fprintf(&b, "  %s\n", s)
 		}
+	}
+	if p.TimeToFirst > 0 {
+		fmt.Fprintf(&b, "first tuple after %s\n", p.TimeToFirst.Round(time.Microsecond))
+	}
+	if p.Elapsed > 0 {
+		fmt.Fprintf(&b, "total %s\n", p.Elapsed.Round(time.Microsecond))
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
@@ -142,6 +186,7 @@ func AnswerProfiled(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Pr
 
 // AnswerProfiled is the package-level AnswerProfiled on this runtime.
 func (rt *Runtime) AnswerProfiled(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Profile, error) {
+	start := time.Now()
 	out := NewRel()
 	var prof Profile
 	for _, rule := range u.Rules {
@@ -154,5 +199,6 @@ func (rt *Runtime) AnswerProfiled(ctx context.Context, u logic.UCQ, ps *access.S
 		}
 		prof.Rules = append(prof.Rules, rp)
 	}
+	prof.Elapsed = time.Since(start)
 	return out, prof, nil
 }

@@ -52,8 +52,21 @@ func TestAnswerProfiled(t *testing.T) {
 	if prof.Rules[0].Answers != 2 {
 		t.Errorf("Answers = %d", prof.Rules[0].Answers)
 	}
+	if prof.Elapsed <= 0 || prof.Rules[0].Elapsed <= 0 {
+		t.Errorf("wall-clock missing: plan=%v rule=%v", prof.Elapsed, prof.Rules[0].Elapsed)
+	}
+	for i, sp := range steps {
+		if sp.Elapsed <= 0 {
+			t.Errorf("step %d has no elapsed time", i)
+		}
+	}
+	// Materializing evaluation holds input+output binding sets of the
+	// widest step: R^oo goes 1→3, ¬L 3→2, T^io 2→2, so the peak is 3+2=5.
+	if prof.Rules[0].PeakBindings != 5 || prof.PeakBindings() != 5 {
+		t.Errorf("PeakBindings = %d (rule %d), want 5", prof.PeakBindings(), prof.Rules[0].PeakBindings)
+	}
 	s := prof.String()
-	for _, want := range []string{"rule 1:", "calls=", "dedup=", "bindings 1→3", "(2 answers)"} {
+	for _, want := range []string{"rule 1:", "calls=", "dedup=", "bindings 1→3", "(2 answers"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Profile.String() missing %q:\n%s", want, s)
 		}

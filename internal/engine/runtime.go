@@ -103,6 +103,16 @@ type Runtime struct {
 	Dedup bool
 	// Retry is the per-call retry policy.
 	Retry RetryPolicy
+	// BatchSize is the number of bindings per batch flowing between the
+	// stages of a streamed pipeline (Stream/StreamParallel). Smaller
+	// batches deliver first tuples earlier; larger batches amortize
+	// per-batch overhead. 0 means DefaultBatchSize. Materializing
+	// evaluation ignores it.
+	BatchSize int
+	// StageBuffer is the capacity of the channel between consecutive
+	// pipeline stages: how many batches a stage may run ahead of its
+	// consumer. 0 means 1. Materializing evaluation ignores it.
+	StageBuffer int
 
 	mu   sync.Mutex
 	sems map[string]chan struct{}
@@ -124,6 +134,29 @@ func SequentialRuntime() *Runtime {
 // defaultRuntime backs the package-level Answer/AnswerProfiled/... ; it
 // is shared, which is safe (the only state is the per-source limiter).
 var defaultRuntime = NewRuntime()
+
+// DefaultRuntime returns the shared runtime behind the package-level
+// Answer/AnswerParallel/RunAnswerStar entry points, so facades can route
+// their default path through the exact same per-source limiter state.
+func DefaultRuntime() *Runtime { return defaultRuntime }
+
+// DefaultBatchSize is the binding-batch size streamed pipelines use when
+// Runtime.BatchSize is zero.
+const DefaultBatchSize = 64
+
+func (rt *Runtime) batchSize() int {
+	if rt.BatchSize > 0 {
+		return rt.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+func (rt *Runtime) stageBuffer() int {
+	if rt.StageBuffer > 0 {
+		return rt.StageBuffer
+	}
+	return 1
+}
 
 func (rt *Runtime) workers(n int) int {
 	w := rt.Concurrency
@@ -161,14 +194,18 @@ func (rt *Runtime) sourceSem(name string) chan struct{} {
 	return sem
 }
 
-// inFlightGauge tracks the high-water mark of concurrent source calls.
+// inFlightGauge tracks the high-water mark of a fluctuating count —
+// concurrent source calls in flight, or bindings resident in a streamed
+// pipeline.
 type inFlightGauge struct {
 	cur atomic.Int64
 	max atomic.Int64
 }
 
-func (g *inFlightGauge) enter() {
-	c := g.cur.Add(1)
+// add moves the current count by n (n may be negative) and updates the
+// high-water mark.
+func (g *inFlightGauge) add(n int64) {
+	c := g.cur.Add(n)
 	for {
 		m := g.max.Load()
 		if c <= m || g.max.CompareAndSwap(m, c) {
@@ -176,6 +213,8 @@ func (g *inFlightGauge) enter() {
 		}
 	}
 }
+
+func (g *inFlightGauge) enter() { g.add(1) }
 
 func (g *inFlightGauge) leave() { g.cur.Add(-1) }
 
@@ -226,15 +265,22 @@ type stepCall struct {
 // applyStep runs one adorned literal over the current binding set: group
 // bindings into distinct calls, issue the calls, fan the results back
 // out. Traffic is recorded into sp.
-func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile) ([]binding, error) {
+//
+// memo, when non-nil (and Dedup is on), is a cross-batch call memo owned
+// by a streamed pipeline stage: keys resolved by an earlier batch are
+// served from it without a new source call, so per-step deduplication is
+// exactly as strong as in materializing evaluation even though the stage
+// only ever sees one batch of the binding stream at a time. Calls issued
+// here are added to it.
+func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile, memo map[string]*stepCall) ([]binding, error) {
 	src := cat.Source(step.Literal.Atom.Pred)
 	if src == nil {
 		return nil, fmt.Errorf("engine: no source for relation %s", step.Literal.Atom.Pred)
 	}
 	calls := make([]*stepCall, 0, len(bindings))
 	callOf := make([]*stepCall, len(bindings))
-	var byKey map[string]*stepCall
-	if rt.Dedup {
+	byKey := memo
+	if rt.Dedup && byKey == nil {
 		byKey = make(map[string]*stepCall, len(bindings))
 	}
 	for i, b := range bindings {

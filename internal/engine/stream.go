@@ -1,0 +1,383 @@
+package engine
+
+// Pipelined streaming execution. The materializing evaluator finishes
+// step k over the *whole* binding set before step k+1 issues its first
+// source call, so a slow or high-fanout early step delays every answer
+// to the end of the plan. Here each rule's plan steps become pipeline
+// stages connected by bounded channels carrying binding batches: step
+// k+1 calls its source for the first batches while step k is still
+// fetching later ones, and head tuples reach the caller as soon as the
+// last stage produces them. Each stage still runs through the Runtime —
+// per-step call deduplication (extended across batches by a per-stage
+// memo), the bounded worker pool, the per-source in-flight cap, and the
+// retry policy all apply per stage — so a streamed run issues exactly
+// the calls a materialized run would, and the drained answer set is
+// byte-identical: stages are single goroutines consuming batches in
+// order, and applyStep fans results back out in binding order, so rows
+// are emitted in the same order materializing evaluation would add them.
+//
+// Ordering and teardown guarantees:
+//
+//   - Stream: rules execute in rule order, one pipeline at a time;
+//     emission order equals Answer's insertion order exactly.
+//   - StreamParallel: all rule pipelines run concurrently and their
+//     emissions interleave; the drained set is still equal (set
+//     semantics), but insertion order is scheduling-dependent.
+//   - Close (or cancelling the caller's context) tears down every stage:
+//     all pipeline goroutines exit before Close returns; no goroutine
+//     outlives the stream.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/logic"
+	"repro/internal/sources"
+)
+
+// Stream is a pull-style iterator over the head tuples of a streamed
+// plan execution. The usual loop is
+//
+//	s, err := rt.Stream(ctx, q, ps, cat)
+//	if err != nil { ... }
+//	defer s.Close()
+//	for s.Next() {
+//	    use(s.Tuple())
+//	}
+//	if err := s.Err(); err != nil { ... }
+//
+// A Stream is single-consumer: Next/Tuple/Err/Close must be called from
+// one goroutine. Close is idempotent, releases every pipeline goroutine,
+// and must be called even after Next returned false (defer it).
+type Stream struct {
+	rows   chan []Row
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // every pipeline goroutine, incl. the driver
+
+	cur []Row // batch being handed out
+	idx int   // next index into cur
+
+	start    time.Time
+	resident inFlightGauge // bindings live across all stages
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+	ttf    time.Duration
+
+	prof     *Profile
+	profDone chan struct{} // closed when prof is fully assembled
+}
+
+// Next advances to the next tuple, blocking until one is available. It
+// returns false when the stream is exhausted, failed, or closed; check
+// Err afterwards.
+func (s *Stream) Next() bool {
+	if s.idx < len(s.cur) {
+		s.idx++
+		return true
+	}
+	for batch := range s.rows {
+		if len(batch) == 0 {
+			continue
+		}
+		s.cur, s.idx = batch, 1
+		return true
+	}
+	return false
+}
+
+// Tuple returns the current tuple. It is only valid after Next returned
+// true, and until the next call to Next.
+func (s *Stream) Tuple() Row {
+	return s.cur[s.idx-1]
+}
+
+// Err returns the first failure of the pipeline, or nil. Cancellations
+// caused by Close itself are not errors.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close tears the pipeline down: every stage is cancelled and Close
+// blocks until all pipeline goroutines have exited. It is idempotent and
+// returns Err.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cancel()
+	}
+	s.mu.Unlock()
+	s.cur, s.idx = nil, 0 // invalidate the cursor (Close is consumer-side)
+	// Drain so stages blocked on sending can exit, then wait for them.
+	for range s.rows {
+	}
+	s.wg.Wait()
+	return s.Err()
+}
+
+// Drain consumes the rest of the stream into a Rel and closes it. On a
+// stream fresh from Stream (rule-ordered pipelines), the result is
+// byte-identical to materializing evaluation: same rows, same insertion
+// order.
+func (s *Stream) Drain() (*Rel, error) {
+	out := NewRel()
+	for s.Next() {
+		out.Add(s.Tuple())
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Profile returns the execution profile once the stream has finished
+// (exhausted, failed, or closed) and reports whether it is complete. It
+// includes per-stage traffic and busy time, the rules' wall-clock, the
+// time to first tuple, and the peak number of bindings resident in the
+// pipeline.
+func (s *Stream) Profile() (Profile, bool) {
+	select {
+	case <-s.profDone:
+		return *s.prof, true
+	default:
+		return Profile{}, false
+	}
+}
+
+// fail records the pipeline's first real failure and cancels every
+// stage. Context errors after the consumer closed the stream are the
+// teardown working as intended, not failures.
+func (s *Stream) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	skip := s.closed && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if s.err == nil && !skip {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// emit delivers one batch of head rows to the consumer, stamping the
+// time to first tuple. It returns false when the pipeline is cancelled.
+func (s *Stream) emit(ctx context.Context, batch []Row) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	s.mu.Lock()
+	if s.ttf == 0 {
+		s.ttf = time.Since(s.start)
+	}
+	s.mu.Unlock()
+	select {
+	case s.rows <- batch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// rulePipeline is one rule's compiled plan.
+type rulePipeline struct {
+	rule  logic.CQ
+	steps []access.AdornedLiteral
+}
+
+// Stream starts pipelined evaluation of the executable plan: one
+// pipeline per rule, rules in order (rule k+1's pipeline starts when
+// rule k's finishes), stages within a rule overlapping. The answer
+// stream, drained, is byte-identical to rt.Answer on the same inputs —
+// same rows in the same order — and issues the same source calls.
+// Batch size and per-stage buffering come from rt.BatchSize and
+// rt.StageBuffer.
+//
+// The error return covers plan compilation (a rule not executable as
+// written); runtime failures surface through Stream.Err.
+func (rt *Runtime) Stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Stream, error) {
+	return rt.stream(ctx, u, ps, cat, false)
+}
+
+// StreamParallel is Stream with all rule pipelines running concurrently
+// (the paper's "execute each rule separately, possibly in parallel").
+// Emission interleaving is scheduling-dependent; the drained answer set
+// is still equal to rt.Answer's.
+func (rt *Runtime) StreamParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Stream, error) {
+	return rt.stream(ctx, u, ps, cat, true)
+}
+
+func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, parallel bool) (*Stream, error) {
+	var pipes []rulePipeline
+	for _, rule := range u.Rules {
+		if rule.False {
+			continue
+		}
+		steps, ok := access.AdornInOrder(rule.Body, ps)
+		if !ok {
+			return nil, fmt.Errorf("engine: rule is not executable as written: %s", rule)
+		}
+		pipes = append(pipes, rulePipeline{rule: rule, steps: steps})
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Stream{
+		rows:     make(chan []Row, rt.stageBuffer()),
+		cancel:   cancel,
+		start:    time.Now(),
+		prof:     &Profile{Rules: make([]RuleProfile, len(pipes))},
+		profDone: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() { // driver
+		defer s.wg.Done()
+		defer close(s.rows)
+		defer close(s.profDone)
+		if parallel {
+			var wg sync.WaitGroup
+			for i, p := range pipes {
+				wg.Add(1)
+				go func(i int, p rulePipeline) {
+					defer wg.Done()
+					rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i])
+				}(i, p)
+			}
+			wg.Wait()
+		} else {
+			for i, p := range pipes {
+				if sctx.Err() != nil {
+					break
+				}
+				rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i])
+			}
+		}
+		// A context already dead before (or between) pipelines would
+		// otherwise look like clean exhaustion to the consumer.
+		s.fail(sctx.Err())
+		s.mu.Lock()
+		s.prof.Elapsed = time.Since(s.start)
+		s.prof.TimeToFirst = s.ttf
+		s.mu.Unlock()
+	}()
+	return s, nil
+}
+
+// runPipeline executes one rule as a chain of stage goroutines and
+// blocks until every stage has exited. Each stage owns one adorned
+// literal: it consumes binding batches from its inbound channel, applies
+// the step through the runtime (with a cross-batch dedup memo), and
+// forwards the surviving bindings in batches. The final stage turns
+// bindings into head rows and emits them.
+func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources.Catalog, s *Stream, rp *RuleProfile) {
+	ruleStart := time.Now()
+	rp.Rule = p.rule.Clone()
+	rp.Steps = make([]StepProfile, len(p.steps))
+
+	depth := rt.stageBuffer()
+	chans := make([]chan []binding, len(p.steps)+1)
+	for i := range chans {
+		chans[i] = make(chan []binding, depth)
+	}
+
+	var wg sync.WaitGroup
+	for i, step := range p.steps {
+		wg.Add(1)
+		go func(i int, step access.AdornedLiteral, in <-chan []binding, out chan<- []binding) {
+			defer wg.Done()
+			defer close(out)
+			sp := &rp.Steps[i]
+			sp.Step = step
+			var memo map[string]*stepCall
+			if rt.Dedup {
+				memo = map[string]*stepCall{}
+			}
+			for batch := range in {
+				sp.BindingsIn += len(batch)
+				t0 := time.Now()
+				next, err := rt.applyStep(ctx, step, cat, batch, sp, memo)
+				sp.Elapsed += time.Since(t0)
+				if err != nil {
+					s.fail(err)
+					s.resident.add(int64(-len(batch)))
+					return
+				}
+				sp.BindingsOut += len(next)
+				ok := forwardBatches(ctx, next, rt.batchSize(), out, &s.resident)
+				s.resident.add(int64(-len(batch)))
+				if !ok {
+					return
+				}
+			}
+		}(i, step, chans[i], chans[i+1])
+	}
+
+	// Head stage: bindings → answer rows → consumer.
+	wg.Add(1)
+	go func(in <-chan []binding) {
+		defer wg.Done()
+		for batch := range in {
+			rows := make([]Row, 0, len(batch))
+			for _, b := range batch {
+				row, err := headRow(p.rule, b)
+				if err != nil {
+					s.fail(err)
+					s.resident.add(int64(-len(batch)))
+					return
+				}
+				rows = append(rows, row)
+			}
+			rp.Answers += len(rows)
+			ok := s.emit(ctx, rows)
+			s.resident.add(int64(-len(batch)))
+			if !ok {
+				return
+			}
+		}
+	}(chans[len(p.steps)])
+
+	// Seed the pipeline with the single empty binding.
+	seed := []binding{{}}
+	s.resident.add(1)
+	select {
+	case chans[0] <- seed:
+	case <-ctx.Done():
+		s.fail(ctx.Err())
+		s.resident.add(-1)
+	}
+	close(chans[0])
+
+	wg.Wait()
+	rp.Elapsed = time.Since(ruleStart)
+	rp.PeakBindings = int(s.resident.max.Load())
+	if err := ctx.Err(); err != nil {
+		s.fail(err)
+	}
+}
+
+// forwardBatches slices bindings into batches of at most size and sends
+// them downstream, charging the resident-bindings gauge. It returns
+// false when the pipeline is cancelled.
+func forwardBatches(ctx context.Context, bindings []binding, size int, out chan<- []binding, resident *inFlightGauge) bool {
+	for lo := 0; lo < len(bindings); lo += size {
+		hi := lo + size
+		if hi > len(bindings) {
+			hi = len(bindings)
+		}
+		batch := bindings[lo:hi:hi]
+		resident.add(int64(len(batch)))
+		select {
+		case out <- batch:
+		case <-ctx.Done():
+			resident.add(int64(-len(batch)))
+			return false
+		}
+	}
+	return true
+}

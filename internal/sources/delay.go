@@ -1,0 +1,83 @@
+package sources
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/access"
+)
+
+// Delayed wraps a Source with a fixed per-call latency — the simulated
+// network round trip of a remote web service. DESIGN.md's cost model
+// counts calls; Delayed makes each call also cost wall-clock time, which
+// is what streaming pipelines and concurrent runtimes overlap. The delay
+// honors the caller's context: a cancelled call returns the context
+// error without forwarding to the inner source. It is safe for
+// concurrent use.
+type Delayed struct {
+	inner Source
+	d     time.Duration
+}
+
+// NewDelayed wraps src so every call takes at least d before the inner
+// source is consulted.
+func NewDelayed(src Source, d time.Duration) *Delayed {
+	return &Delayed{inner: src, d: d}
+}
+
+// Name implements Source.
+func (s *Delayed) Name() string { return s.inner.Name() }
+
+// Arity implements Source.
+func (s *Delayed) Arity() int { return s.inner.Arity() }
+
+// Patterns implements Source.
+func (s *Delayed) Patterns() []access.Pattern { return s.inner.Patterns() }
+
+// Call implements Source.
+func (s *Delayed) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	return s.CallContext(context.Background(), p, inputs)
+}
+
+// CallContext implements ContextSource: it sleeps for the configured
+// latency (abandoning the call if the context is cancelled first), then
+// forwards to the inner source.
+func (s *Delayed) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
+	if s.d > 0 {
+		timer := time.NewTimer(s.d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return CallWithContext(ctx, s.inner, p, inputs)
+}
+
+// StatsSnapshot implements StatsReporter by forwarding to the wrapped
+// source, so metered traffic is unaffected by the added latency.
+func (s *Delayed) StatsSnapshot() Stats {
+	if r, ok := s.inner.(StatsReporter); ok {
+		return r.StatsSnapshot()
+	}
+	return Stats{}
+}
+
+// ResetStats implements StatsReporter by forwarding to the wrapped
+// source.
+func (s *Delayed) ResetStats() {
+	if r, ok := s.inner.(StatsReporter); ok {
+		r.ResetStats()
+	}
+}
+
+// DelayedCatalog wraps every source of the catalog with the same
+// per-call latency, returning the wrapped catalog.
+func DelayedCatalog(cat *Catalog, d time.Duration) (*Catalog, error) {
+	var srcs []Source
+	for _, name := range cat.Names() {
+		srcs = append(srcs, NewDelayed(cat.Source(name), d))
+	}
+	return NewCatalog(srcs...)
+}

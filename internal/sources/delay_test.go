@@ -1,0 +1,87 @@
+package sources
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+)
+
+func delayedTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("R", 1, []access.Pattern{"o"}, []Tuple{{"a"}, {"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDelayedAddsLatencyAndForwards(t *testing.T) {
+	tab := delayedTable(t)
+	d := NewDelayed(tab, 5*time.Millisecond)
+	start := time.Now()
+	rows, err := d.Call("o", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("call returned after %v, want ≥5ms", elapsed)
+	}
+	if d.Name() != "R" || d.Arity() != 1 || len(d.Patterns()) != 1 {
+		t.Error("identity must forward to the inner source")
+	}
+	if st := d.StatsSnapshot(); st.Calls != 1 || st.TuplesReturned != 2 {
+		t.Errorf("stats must forward to the inner meters: %+v", st)
+	}
+}
+
+func TestDelayedHonorsCancellation(t *testing.T) {
+	tab := delayedTable(t)
+	d := NewDelayed(tab, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.CallContext(ctx, "o", nil)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+	if st := d.StatsSnapshot(); st.Calls != 0 {
+		t.Errorf("abandoned call must not reach the inner source: %+v", st)
+	}
+}
+
+func TestDelayedCatalogWrapsEverySource(t *testing.T) {
+	tab := delayedTable(t)
+	cat, err := NewCatalog(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := DelayedCatalog(cat, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range wrapped.Names() {
+		if _, ok := wrapped.Source(name).(*Delayed); !ok {
+			t.Errorf("source %s is not delayed", name)
+		}
+	}
+	if _, err := wrapped.Source("R").Call("o", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := wrapped.TotalStats(); st.Calls != 1 {
+		t.Errorf("wrapped catalog must meter inner traffic: %+v", st)
+	}
+}
