@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke paperbench check
+.PHONY: all build vet test test-race bench bench-smoke fault-smoke paperbench check
 
 all: check
 
@@ -25,7 +25,14 @@ bench:
 # E20 streaming pipeline): runs each once, which also exercises their
 # built-in acceptance assertions.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='E19|E20' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='E19|E20|E21' -benchtime=1x .
+
+# Fault-injection smoke: the paper examples' underestimates with one
+# source killed per run must degrade (partial answers + incompleteness
+# report), never crash; run under -race since degradation exercises the
+# per-rule teardown paths.
+fault-smoke:
+	$(GO) test -race -count=1 -run='TestFaultSmoke|TestExecPartial|TestStreamPartial|TestEvalPartial' . ./internal/engine/
 
 paperbench:
 	$(GO) run ./cmd/paperbench -quick

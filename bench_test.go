@@ -640,6 +640,131 @@ func BenchmarkE20StreamingPipeline(b *testing.B) {
 	})
 }
 
+// E21: graceful degradation with a dead source. The benchmark asserts
+// the acceptance properties up front — partial mode answers with the
+// healthy disjunct and names the dead source, strict mode errors, and
+// the circuit breaker caps the dead source's traffic at its window
+// instead of paying the full retry schedule in every disjunct that
+// touches it — then times a degraded run with bare retries against one
+// behind the breaker.
+func BenchmarkE21Degradation(b *testing.B) {
+	const deadRules = 8
+	src := "Q(x) :- R(x).\n"
+	for i := 0; i < deadRules; i++ {
+		src += fmt.Sprintf("Q(x) :- S(%q, x).\n", fmt.Sprintf("c%d", i))
+	}
+	q := MustParseQuery(src)
+	ps := MustParsePatterns(`R^o S^io`)
+	in := NewInstance()
+	for i := 0; i < 40; i++ {
+		in.MustAdd("R", fmt.Sprintf("r%d", i))
+	}
+	rt := func() *Runtime {
+		rt := NewRuntime()
+		rt.Concurrency = 1 // deterministic call counts for the assertions
+		rt.Retry.MaxAttempts = 4
+		rt.Retry.BaseDelay = 0
+		return rt
+	}
+	// bareKill rebuilds the catalog with S permanently failing and no
+	// breaker: every binding pays the full retry schedule.
+	bareKill := func() (*Catalog, *FlakySource) {
+		base := in.MustCatalog(ps)
+		var srcs []Source
+		var flaky *FlakySource
+		for _, name := range base.Names() {
+			src := base.Source(name)
+			if name == "S" {
+				flaky = NewFlakySource(src, FlakyConfig{FailEveryN: 1})
+				src = flaky
+			}
+			srcs = append(srcs, src)
+		}
+		cat, err := NewCatalog(srcs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cat, flaky
+	}
+
+	want, err := Answer(MustParseQuery(`Q(x) :- R(x).`), ps, in.MustCatalog(ps))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Strict mode must surface the failure.
+	strictCat, _, _ := killSource(b, in, ps, "S")
+	if _, err := Exec(context.Background(), q, ps, strictCat, WithRuntime(rt())); err == nil {
+		b.Fatal("strict Exec must fail with a dead source")
+	}
+
+	// Bare retries: every distinct binding retries to exhaustion.
+	bareCat, bareFlaky := bareKill()
+	res, err := Exec(context.Background(), q, ps, bareCat, WithRuntime(rt()), WithPartialResults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rel, err := res.Rel(); err != nil || !rel.Equal(want) {
+		b.Fatalf("bare degraded answer = %v/%v, want the healthy disjunct's %s", rel, err, want)
+	}
+	bareCalls := bareFlaky.Injected()
+	if min := deadRules * 4; bareCalls < min {
+		b.Fatalf("bare retries absorbed %d dead-source calls, expected at least rules×attempts = %d", bareCalls, min)
+	}
+
+	// Breaker: the dead source's traffic is capped at the window.
+	brkCat, brkFlaky, brk := killSource(b, in, ps, "S")
+	res, err = Exec(context.Background(), q, ps, brkCat, WithRuntime(rt()), WithPartialResults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rel, err := res.Rel(); err != nil || !rel.Equal(want) {
+		b.Fatalf("breaker degraded answer = %v/%v, want the healthy disjunct's %s", rel, err, want)
+	}
+	inc, ok := res.Incompleteness()
+	if !ok || inc.Complete() {
+		b.Fatalf("incompleteness = %+v/%v, want the dropped disjunct recorded", inc, ok)
+	}
+	if got := inc.FailedSources(); len(got) != 1 || got[0] != "S" {
+		b.Fatalf("FailedSources = %v, want [S]", got)
+	}
+	brkCalls := brkFlaky.Injected()
+	if brkCalls > 4 {
+		b.Fatalf("breaker let %d calls through, want at most its window (4)", brkCalls)
+	}
+	if brk.State() != BreakerOpen {
+		b.Fatalf("breaker state = %v, want open", brk.State())
+	}
+	b.Logf("dead-source calls: bare=%d breaker=%d (window 4)", bareCalls, brkCalls)
+
+	b.Run("bare-retries", func(b *testing.B) {
+		cat, _ := bareKill()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := Exec(context.Background(), q, ps, cat, WithRuntime(rt()), WithPartialResults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Rel(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("breaker", func(b *testing.B) {
+		cat, _, _ := killSource(b, in, ps, "S")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := Exec(context.Background(), q, ps, cat, WithRuntime(rt()), WithPartialResults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Rel(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Parallel vs sequential rule evaluation on a wide union.
 func BenchmarkAnswerParallel(b *testing.B) {
 	in := engine.NewInstance()

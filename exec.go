@@ -27,6 +27,7 @@ type execConfig struct {
 	parallel  bool
 	profile   bool
 	streaming bool
+	partial   bool
 	star      bool
 	improve   bool
 	maxCalls  int
@@ -74,6 +75,19 @@ func WithStats(st PlanStats) ExecOption {
 // has started; runtime failures surface through the stream.
 func WithStreaming() ExecOption { return func(c *execConfig) { c.streaming = true } }
 
+// WithPartialResults enables graceful degradation: a rule whose
+// evaluation fails terminally — circuit breaker open, per-query budget
+// exhausted, retries exhausted, or a non-transient source error — is
+// dropped and recorded instead of failing the execution. Result.Rel is
+// then exactly the answer of the surviving rules: a certified
+// underestimate of the full answer, in the spirit of ANSWER*'s ansᵤ;
+// Result.Incompleteness reports the dropped disjuncts, their failing
+// sources, and the disjunct-level completeness ratio. Caller-context
+// cancellation and planning errors still abort. It does not combine
+// with WithAnswerStar (a degraded overestimate certifies nothing) or
+// WithNaive.
+func WithPartialResults() ExecOption { return func(c *execConfig) { c.partial = true } }
+
 // WithAnswerStar runs the full ANSWER* algorithm (Figure 4): Result.Rel
 // is the certain underestimate and Result.Star carries the completeness
 // report.
@@ -109,6 +123,8 @@ type Result struct {
 	improve bool
 	rules   Query
 	dom     DomResult
+
+	inc *Incompleteness // partial-results report (materialized path)
 }
 
 // Rel returns the materialized answers. In streaming mode the first call
@@ -143,6 +159,20 @@ func (r *Result) Profile() (ExecProfile, bool) {
 	return r.prof, true
 }
 
+// Incompleteness returns the degradation report (requires
+// WithPartialResults). In streaming mode it is available only after the
+// stream finished — ok is false before that. A complete report (no
+// failures) still returns ok = true; check Complete() on it.
+func (r *Result) Incompleteness() (Incompleteness, bool) {
+	if r.stream != nil {
+		return r.stream.Incomplete()
+	}
+	if r.inc == nil {
+		return Incompleteness{}, false
+	}
+	return *r.inc, true
+}
+
 // Star returns the ANSWER* report (requires WithAnswerStar or
 // WithImproveUnder).
 func (r *Result) Star() (AnswerStar, bool) {
@@ -165,7 +195,8 @@ func (r *Result) Improved() (Query, DomResult, bool) {
 // patterns, honoring ctx through every source call. With no options it
 // is the materialized Answer on the default runtime; options select the
 // runtime, rule parallelism, profiling, streaming, ANSWER*, semantic
-// optimization, cost-based ordering, or naive ground-truth evaluation.
+// optimization, cost-based ordering, partial results under failure, or
+// naive ground-truth evaluation.
 //
 //	res, err := ucqn.Exec(ctx, q, ps, cat, ucqn.WithStreaming())
 //	if err != nil { ... }
@@ -226,35 +257,21 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 		}
 		return res, nil
 	case c.streaming:
-		var s *Stream
-		var err error
-		if c.parallel {
-			s, err = rt.StreamParallel(ctx, q, ps, cat)
-		} else {
-			s, err = rt.Stream(ctx, q, ps, cat)
-		}
+		s, err := rt.StreamEval(ctx, q, ps, cat, engine.StreamOpts{Parallel: c.parallel, Partial: c.partial})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{stream: s, profiled: c.profile}, nil
-	case c.profile:
-		rel, prof, err := rt.AnswerProfiled(ctx, q, ps, cat)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{rel: rel, profiled: true, prof: prof}, nil
-	case c.parallel:
-		rel, err := rt.AnswerParallel(ctx, q, ps, cat)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{rel: rel}, nil
 	default:
-		rel, err := rt.Answer(ctx, q, ps, cat)
+		rel, prof, inc, err := rt.Eval(ctx, q, ps, cat, engine.EvalOpts{
+			Parallel: c.parallel,
+			Profile:  c.profile,
+			Partial:  c.partial,
+		})
 		if err != nil {
 			return nil, err
 		}
-		return &Result{rel: rel}, nil
+		return &Result{rel: rel, profiled: c.profile, prof: prof, inc: inc}, nil
 	}
 }
 
@@ -262,7 +279,7 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 func (c *execConfig) validate() error {
 	if c.naive != nil {
 		switch {
-		case c.star, c.streaming, c.profile, c.parallel:
+		case c.star, c.streaming, c.profile, c.parallel, c.partial:
 			return errors.New("ucqn: WithNaive does not combine with execution options")
 		case c.hasINDs, c.hasStats, c.rt != nil:
 			return errors.New("ucqn: WithNaive ignores access patterns; planning options do not apply")
@@ -272,6 +289,9 @@ func (c *execConfig) validate() error {
 	if c.star {
 		if c.streaming || c.profile || c.parallel {
 			return errors.New("ucqn: WithAnswerStar does not combine with streaming, profiling, or parallel rules")
+		}
+		if c.partial {
+			return errors.New("ucqn: WithAnswerStar does not combine with WithPartialResults: a degraded overestimate certifies nothing")
 		}
 	}
 	if c.profile && c.parallel && !c.streaming {

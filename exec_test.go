@@ -306,6 +306,8 @@ func TestExecRejectsContradictoryOptions(t *testing.T) {
 		{"star+streaming", []ExecOption{WithAnswerStar(), WithStreaming()}},
 		{"star+parallel", []ExecOption{WithAnswerStar(), WithParallelRules()}},
 		{"profile+parallel materialized", []ExecOption{WithProfile(), WithParallelRules()}},
+		{"star+partial", []ExecOption{WithAnswerStar(), WithPartialResults()}},
+		{"naive+partial", []ExecOption{WithNaive(in), WithPartialResults()}},
 	}
 	for _, c := range cases {
 		if _, err := Exec(context.Background(), q, ps, cat, c.opts...); err == nil {

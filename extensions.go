@@ -263,3 +263,79 @@ func IsTransient(err error) bool { return sources.IsTransient(err) }
 // source, so Catalog.TotalStats reports real remote traffic even on
 // wrapped catalogs.
 type StatsReporter = sources.StatsReporter
+
+// SeededJitter returns a deterministic jitter hook for RetryPolicy: it
+// maps each backoff delay d to a pseudorandom duration in [d/2, d]
+// ("equal jitter"), drawn from a stream seeded with seed. Retrying
+// callers desynchronize (no thundering herd after a shared failure)
+// while tests stay reproducible under a fixed seed.
+func SeededJitter(seed int64) func(time.Duration) time.Duration {
+	return engine.SeededJitter(seed)
+}
+
+// Breaker is a per-source circuit breaker: after enough failures in its
+// sliding window it opens and fails calls fast with ErrBreakerOpen
+// (without touching the source), then after a cooldown admits a single
+// probe to decide whether to close again. Wrap unreliable sources with
+// NewBreaker or a whole catalog with BreakerCatalog.
+type Breaker = sources.Breaker
+
+// BreakerConfig tunes a Breaker's window, threshold, and cooldown.
+type BreakerConfig = sources.BreakerConfig
+
+// BreakerState is a Breaker's state: closed, open, or half-open.
+type BreakerState = sources.BreakerState
+
+// Breaker states.
+const (
+	BreakerClosed   = sources.BreakerClosed
+	BreakerOpen     = sources.BreakerOpen
+	BreakerHalfOpen = sources.BreakerHalfOpen
+)
+
+// ErrBreakerOpen is the terminal (non-transient) error a Breaker returns
+// while open: retrying immediately cannot help.
+var ErrBreakerOpen = sources.ErrBreakerOpen
+
+// NewBreaker wraps src with a circuit breaker.
+func NewBreaker(src Source, cfg BreakerConfig) *Breaker {
+	return sources.NewBreaker(src, cfg)
+}
+
+// BreakerCatalog wraps every source of the catalog with its own circuit
+// breaker, returning the wrapped catalog and the breaker handles indexed
+// like cat.Names().
+func BreakerCatalog(cat *Catalog, cfg BreakerConfig) (*Catalog, []*Breaker, error) {
+	return sources.BreakerCatalog(cat, cfg)
+}
+
+// Budget caps what one query execution may spend on source calls; set
+// it on a Runtime. ErrCallBudget failures are terminal.
+type Budget = engine.Budget
+
+// ErrCallBudget is returned (wrapped) when an execution exhausts its
+// Runtime's per-query call or time budget.
+var ErrCallBudget = engine.ErrCallBudget
+
+// Incompleteness is the degradation report of a partial-results
+// execution (Exec with WithPartialResults): which disjuncts were
+// dropped, which sources failed them, and the disjunct-level
+// completeness ratio.
+type Incompleteness = engine.Incompleteness
+
+// RuleFailure is one dropped disjunct of an Incompleteness report.
+type RuleFailure = engine.RuleFailure
+
+// FailureClass classifies why a disjunct was dropped.
+type FailureClass = engine.FailureClass
+
+// Failure classes.
+const (
+	FailBreaker   = engine.FailBreaker
+	FailBudget    = engine.FailBudget
+	FailTransient = engine.FailTransient
+	FailTerminal  = engine.FailTerminal
+)
+
+// ClassifyFailure maps a rule-evaluation error to its failure class.
+func ClassifyFailure(err error) FailureClass { return engine.ClassifyFailure(err) }

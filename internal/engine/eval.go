@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,6 +22,106 @@ func (b binding) clone() binding {
 	return out
 }
 
+// errNotExecutable marks compile-time plan failures: a rule that cannot
+// be executed as written. Partial-results mode never degrades on it —
+// it is a planning error, not a runtime fault.
+var errNotExecutable = errors.New("engine: rule is not executable as written")
+
+// EvalOpts selects how Eval runs a union.
+type EvalOpts struct {
+	// Parallel evaluates the rules concurrently, one goroutine per rule.
+	Parallel bool
+	// Profile records per-step execution accounting into the returned
+	// Profile.
+	Profile bool
+	// Partial enables partial-results mode (graceful degradation): a
+	// rule whose evaluation fails terminally at runtime — circuit
+	// breaker open, per-query budget exhausted, retries exhausted, or a
+	// non-transient source error — is dropped and recorded in the
+	// returned Incompleteness instead of failing the execution. The
+	// returned relation is then exactly ANSWER of the surviving rules: a
+	// certified underestimate of the full answer. Caller-context
+	// cancellation and compile-time planning errors still abort.
+	Partial bool
+}
+
+// Eval is the engine's single materializing entry point: Answer,
+// AnswerProfiled, and AnswerParallel are thin wrappers over it. It
+// returns the answers, the profile (meaningful when o.Profile), and —
+// in partial-results mode only — the degradation report (nil otherwise).
+func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts) (*Rel, Profile, *Incompleteness, error) {
+	start := time.Now()
+	budget := rt.newBudget()
+	var inc *Incompleteness
+	if o.Partial {
+		inc = &Incompleteness{}
+	}
+	var out *Rel
+	var prof Profile
+	var err error
+	if o.Parallel {
+		out, prof, err = rt.evalParallel(ctx, u, ps, cat, o, inc, budget)
+	} else {
+		out, prof, err = rt.evalSequential(ctx, u, ps, cat, o, inc, budget)
+	}
+	if err != nil {
+		return nil, Profile{}, nil, err
+	}
+	prof.Elapsed = time.Since(start)
+	if inc != nil {
+		inc.RulesSurvived = inc.RulesTotal - len(inc.Failed)
+		prof.DegradedRules = len(inc.Failed)
+	}
+	if rt.Budget.active() {
+		prof.BudgetSpent = int(budget.spent.Load())
+	}
+	return out, prof, inc, nil
+}
+
+// evalSequential runs the rules in order, sharing one budget.
+func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState) (*Rel, Profile, error) {
+	out := NewRel()
+	var prof Profile
+	for i, rule := range u.Rules {
+		if rule.False {
+			continue
+		}
+		if inc != nil {
+			inc.RulesTotal++
+		}
+		var rp *RuleProfile
+		if o.Profile {
+			prof.Rules = append(prof.Rules, RuleProfile{Rule: rule.Clone()})
+			rp = &prof.Rules[len(prof.Rules)-1]
+		}
+		// In partial mode each rule evaluates into its own relation, so
+		// a disjunct that dies mid-head leaves no partial rows behind.
+		target := out
+		if inc != nil {
+			target = NewRel()
+		}
+		if err := rt.answerRule(ctx, rule, ps, cat, target, rp, budget); err != nil {
+			if inc == nil || !degradable(ctx, err) {
+				return nil, Profile{}, err
+			}
+			inc.record(i, rule, err)
+			continue
+		}
+		if inc != nil {
+			added := 0
+			for _, row := range target.Rows() {
+				if out.Add(row) {
+					added++
+				}
+			}
+			if rp != nil {
+				rp.Answers = added
+			}
+		}
+	}
+	return out, prof, nil
+}
+
 // Answer evaluates an executable UCQ¬ plan against the catalog: each rule
 // is executed left to right through source calls that respect the access
 // patterns declared by ps. Rules must be executable as written (PLAN*
@@ -34,26 +135,18 @@ func Answer(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
 
 // Answer is ANSWER(Q, D) on this runtime; see the package-level Answer.
 func (rt *Runtime) Answer(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
-	out := NewRel()
-	for _, rule := range u.Rules {
-		if rule.False {
-			continue
-		}
-		if err := rt.answerRule(ctx, rule, ps, cat, out, nil); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	rel, _, _, err := rt.Eval(ctx, u, ps, cat, EvalOpts{})
+	return rel, err
 }
 
 // answerRule executes one rule and adds its answers to out. When prof is
 // non-nil, per-step accounting is recorded into it.
-func (rt *Runtime) answerRule(ctx context.Context, q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+func (rt *Runtime) answerRule(ctx context.Context, q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState) error {
 	steps, ok := access.AdornInOrder(q.Body, ps)
 	if !ok {
-		return fmt.Errorf("engine: rule is not executable as written: %s", q)
+		return fmt.Errorf("%w: %s", errNotExecutable, q)
 	}
-	return rt.runSteps(ctx, q, steps, cat, out, prof)
+	return rt.runSteps(ctx, q, steps, cat, out, prof, budget)
 }
 
 // AnswerSteps executes an explicitly adorned plan for one rule — the
@@ -69,7 +162,7 @@ func (rt *Runtime) AnswerSteps(ctx context.Context, q logic.CQ, steps []access.A
 	if q.False {
 		return out, nil
 	}
-	if err := rt.runSteps(ctx, q, steps, cat, out, nil); err != nil {
+	if err := rt.runSteps(ctx, q, steps, cat, out, nil, rt.newBudget()); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -78,7 +171,7 @@ func (rt *Runtime) AnswerSteps(ctx context.Context, q logic.CQ, steps []access.A
 // runSteps drives the nested-loop execution of an adorned plan. Within a
 // step the runtime batches the bindings' source calls (see applyStep);
 // across steps the binding set flows left to right as in the paper.
-func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile) error {
+func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState) error {
 	ruleStart := time.Now()
 	bindings := []binding{{}}
 	for _, step := range steps {
@@ -87,9 +180,15 @@ func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.Ador
 		sp.BindingsIn = len(bindings)
 		start := time.Now()
 		var err error
-		bindings, err = rt.applyStep(ctx, step, cat, bindings, &sp, nil)
+		bindings, err = rt.applyStep(ctx, step, cat, bindings, &sp, nil, budget)
 		sp.Elapsed = time.Since(start)
 		if err != nil {
+			if prof != nil {
+				// Keep the failed step's accounting: degraded executions
+				// report the traffic a dropped disjunct cost.
+				prof.Steps = append(prof.Steps, sp)
+				prof.Elapsed = time.Since(ruleStart)
+			}
 			return err
 		}
 		sp.BindingsOut = len(bindings)

@@ -24,6 +24,15 @@ func AnswerParallel(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, er
 
 // AnswerParallel is the package-level AnswerParallel on this runtime.
 func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, error) {
+	rel, _, _, err := rt.Eval(ctx, u, ps, cat, EvalOpts{Parallel: true})
+	return rel, err
+}
+
+// evalParallel is Eval's concurrent-rules path. In strict mode a rule
+// failure cancels the rules still in flight; in partial-results mode a
+// degradable failure is recorded into inc and the siblings keep running
+// (only caller cancellation and planning errors abort).
+func (rt *Runtime) evalParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState) (*Rel, Profile, error) {
 	type ruleResult struct {
 		rel *Rel
 		err error
@@ -32,9 +41,13 @@ func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.S
 	defer cancel()
 	var wg sync.WaitGroup
 	results := make([]ruleResult, len(u.Rules))
+	rps := make([]RuleProfile, len(u.Rules))
 	for i, rule := range u.Rules {
 		if rule.False {
 			continue
+		}
+		if inc != nil {
+			inc.RulesTotal++
 		}
 		wg.Add(1)
 		go func(i int, rule logic.CQ) {
@@ -45,9 +58,14 @@ func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.S
 					cancel()
 				}
 			}()
+			var rp *RuleProfile
+			if o.Profile {
+				rps[i] = RuleProfile{Rule: rule.Clone()}
+				rp = &rps[i]
+			}
 			rel := NewRel()
-			err := rt.answerRule(cctx, rule, ps, cat, rel, nil)
-			if err != nil {
+			err := rt.answerRule(cctx, rule, ps, cat, rel, rp, budget)
+			if err != nil && !(inc != nil && degradable(cctx, err)) {
 				cancel() // stop the rules still in flight
 			}
 			results[i] = ruleResult{rel: rel, err: err}
@@ -66,19 +84,38 @@ func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.S
 			cancelled = r.err
 			continue
 		}
+		if inc != nil && degradable(ctx, r.err) {
+			inc.record(i, u.Rules[i], r.err)
+			results[i].rel = nil // the disjunct contributes nothing
+			continue
+		}
 		errs = append(errs, fmt.Errorf("engine: rule %d: %w", i+1, r.err))
 	}
 	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+		return nil, Profile{}, errors.Join(errs...)
 	}
 	if cancelled != nil {
-		return nil, cancelled
+		return nil, Profile{}, cancelled
 	}
 	out := NewRel()
-	for _, r := range results {
-		if r.rel != nil {
-			out.AddAll(r.rel)
+	var prof Profile
+	for i, r := range results {
+		if r.rel == nil {
+			if o.Profile && inc != nil && rps[i].Rule.HeadPred != "" {
+				prof.Rules = append(prof.Rules, rps[i]) // dropped disjunct's traffic
+			}
+			continue
+		}
+		added := 0
+		for _, row := range r.rel.Rows() {
+			if out.Add(row) {
+				added++
+			}
+		}
+		if o.Profile {
+			rps[i].Answers = added
+			prof.Rules = append(prof.Rules, rps[i])
 		}
 	}
-	return out, nil
+	return out, prof, nil
 }

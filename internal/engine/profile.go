@@ -80,6 +80,12 @@ type Profile struct {
 	// tuple reaching the caller. Only streamed runs fill it; a
 	// materializing run delivers nothing before Elapsed.
 	TimeToFirst time.Duration
+	// BudgetSpent is the number of call attempts charged against the
+	// runtime's per-query budget (0 when no budget is active).
+	BudgetSpent int
+	// DegradedRules counts the disjuncts dropped in partial-results mode
+	// (0 in strict mode or on a complete run).
+	DegradedRules int
 }
 
 // TotalCalls sums source calls across all rules.
@@ -171,6 +177,12 @@ func (p Profile) String() string {
 	if p.TimeToFirst > 0 {
 		fmt.Fprintf(&b, "first tuple after %s\n", p.TimeToFirst.Round(time.Microsecond))
 	}
+	if p.DegradedRules > 0 {
+		fmt.Fprintf(&b, "degraded: %d disjunct(s) dropped\n", p.DegradedRules)
+	}
+	if p.BudgetSpent > 0 {
+		fmt.Fprintf(&b, "budget spent: %d call(s)\n", p.BudgetSpent)
+	}
 	if p.Elapsed > 0 {
 		fmt.Fprintf(&b, "total %s\n", p.Elapsed.Round(time.Microsecond))
 	}
@@ -186,19 +198,9 @@ func AnswerProfiled(u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Pr
 
 // AnswerProfiled is the package-level AnswerProfiled on this runtime.
 func (rt *Runtime) AnswerProfiled(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Rel, Profile, error) {
-	start := time.Now()
-	out := NewRel()
-	var prof Profile
-	for _, rule := range u.Rules {
-		if rule.False {
-			continue
-		}
-		rp := RuleProfile{Rule: rule.Clone()}
-		if err := rt.answerRule(ctx, rule, ps, cat, out, &rp); err != nil {
-			return nil, Profile{}, err
-		}
-		prof.Rules = append(prof.Rules, rp)
+	rel, prof, _, err := rt.Eval(ctx, u, ps, cat, EvalOpts{Profile: true})
+	if err != nil {
+		return nil, Profile{}, err
 	}
-	prof.Elapsed = time.Since(start)
-	return out, prof, nil
+	return rel, prof, nil
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -46,9 +47,42 @@ type RetryPolicy struct {
 }
 
 // DefaultRetryPolicy retries transient failures up to 4 attempts with
-// 2ms/4ms/8ms backoff.
+// 2ms/4ms/8ms backoff, jittered (SeededJitter) so concurrent workers
+// retrying the same failing source don't back off in lockstep and
+// re-arrive as a synchronized herd.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Jitter:      SeededJitter(defaultJitterSeed),
+	}
+}
+
+// defaultJitterSeed makes DefaultRetryPolicy's jitter reproducible run
+// to run (the draw sequence is fixed; only the interleaving across
+// goroutines varies).
+const defaultJitterSeed = 0x9E3779B9
+
+// SeededJitter returns an "equal jitter" hook for RetryPolicy.Jitter:
+// each computed backoff d maps to a uniform delay in [d/2, d]. The
+// random stream is deterministic for a given seed — tests get
+// reproducible draw sequences — while still decorrelating concurrent
+// workers, which draw different values from the shared stream. The
+// returned function is safe for concurrent use.
+func SeededJitter(seed int64) func(time.Duration) time.Duration {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(d time.Duration) time.Duration {
+		half := int64(d) / 2
+		if half <= 0 {
+			return d
+		}
+		mu.Lock()
+		off := rng.Int63n(half + 1)
+		mu.Unlock()
+		return time.Duration(half + off)
+	}
 }
 
 func (p RetryPolicy) attempts() int {
@@ -113,9 +147,79 @@ type Runtime struct {
 	// pipeline stages: how many batches a stage may run ahead of its
 	// consumer. 0 means 1. Materializing evaluation ignores it.
 	StageBuffer int
+	// CallTimeout is the per-call deadline: each source-call attempt runs
+	// under its own context deadline, so a hung service costs at most
+	// CallTimeout per attempt instead of stalling the plan. An expired
+	// attempt is reported as a transient timeout failure (retryable, and
+	// counted as a failure by circuit breakers below). 0 means no
+	// per-call deadline.
+	CallTimeout time.Duration
+	// Budget caps the source traffic of one execution (one Eval, Stream,
+	// or facade Exec). The zero value means unlimited.
+	Budget Budget
 
 	mu   sync.Mutex
 	sems map[string]chan struct{}
+}
+
+// Budget is a per-query source-call budget: how much traffic one
+// execution may spend before it is cut off. The budget is charged per
+// call attempt (retries included) across all rules, steps, and workers
+// of the execution; exceeding it fails the in-flight call with
+// ErrCallBudget, which partial-results mode degrades on and strict mode
+// surfaces.
+type Budget struct {
+	// MaxCalls is the maximum number of call attempts; 0 means unlimited.
+	MaxCalls int
+	// MaxTime is the execution's wall-clock allowance, checked before
+	// each attempt (attempts already in flight finish, bounded by
+	// CallTimeout when set); 0 means unlimited.
+	MaxTime time.Duration
+}
+
+func (b Budget) active() bool { return b.MaxCalls > 0 || b.MaxTime > 0 }
+
+// ErrCallBudget marks source calls rejected because the per-query
+// budget (Runtime.Budget) was exhausted. Like a breaker rejection it is
+// terminal, never retried.
+var ErrCallBudget = errors.New("engine: per-query call budget exhausted")
+
+// budgetState is one execution's budget accounting, shared by all of
+// its workers.
+type budgetState struct {
+	limit    int64 // 0 = unlimited
+	deadline time.Time
+	spent    atomic.Int64
+}
+
+// newBudget starts the per-execution budget clock for this runtime's
+// configured Budget.
+func (rt *Runtime) newBudget() *budgetState {
+	b := &budgetState{limit: int64(rt.Budget.MaxCalls)}
+	if rt.Budget.MaxTime > 0 {
+		b.deadline = time.Now().Add(rt.Budget.MaxTime)
+	}
+	return b
+}
+
+// charge admits one call attempt or reports budget exhaustion. spent
+// counts only admitted attempts.
+func (b *budgetState) charge() error {
+	if b == nil {
+		return nil
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return fmt.Errorf("%w: time budget spent after %d calls", ErrCallBudget, b.spent.Load())
+	}
+	if b.limit > 0 {
+		if n := b.spent.Add(1); n > b.limit {
+			b.spent.Add(-1)
+			return fmt.Errorf("%w: call budget of %d spent", ErrCallBudget, b.limit)
+		}
+		return nil
+	}
+	b.spent.Add(1)
+	return nil
 }
 
 // NewRuntime returns the production runtime: deduplication on, one
@@ -218,13 +322,18 @@ func (g *inFlightGauge) enter() { g.add(1) }
 
 func (g *inFlightGauge) leave() { g.cur.Add(-1) }
 
-// callWithRetry issues one source call under the per-source limit,
-// retrying per the policy. It returns the rows and the number of
-// attempts actually made (0 when cancelled before the first attempt).
-func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name string, p access.Pattern, inputs []string, gauge *inFlightGauge) (rows []sources.Tuple, attempts int, err error) {
+// callWithRetry issues one source call under the per-source limit and
+// the per-execution budget, retrying per the policy with each attempt
+// bounded by the per-call deadline. It returns the rows and the number
+// of attempts actually made (0 when cancelled or cut off before the
+// first attempt).
+func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name string, p access.Pattern, inputs []string, gauge *inFlightGauge, budget *budgetState) (rows []sources.Tuple, attempts int, err error) {
 	sem := rt.sourceSem(name)
 	max := rt.Retry.attempts()
 	for attempt := 1; ; attempt++ {
+		if err := budget.charge(); err != nil {
+			return nil, attempt - 1, err
+		}
 		if sem != nil {
 			select {
 			case sem <- struct{}{}:
@@ -232,9 +341,25 @@ func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name s
 				return nil, attempt - 1, ctx.Err()
 			}
 		}
+		cctx, cancel := ctx, context.CancelFunc(nil)
+		if rt.CallTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, rt.CallTimeout)
+		}
 		gauge.enter()
-		rows, err = sources.CallWithContext(ctx, src, p, inputs)
+		rows, err = sources.CallWithContext(cctx, src, p, inputs)
 		gauge.leave()
+		if cancel != nil {
+			cancel()
+			// The attempt's own deadline expiring is a source failure
+			// (slow or hung service), not a caller cancellation: report
+			// it as a retryable timeout so the policy and any circuit
+			// breaker see it. The caller's context staying alive is what
+			// distinguishes the two.
+			if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				err = sources.Transient(fmt.Errorf("engine: %s^%s(%s): call timed out after %v",
+					name, p, strings.Join(inputs, ","), rt.CallTimeout))
+			}
+		}
 		if sem != nil {
 			<-sem
 		}
@@ -262,6 +387,22 @@ type stepCall struct {
 	err      error
 }
 
+// callError attributes a failed step call to the source it targeted, so
+// degraded executions can name the failing service in their
+// incompleteness report.
+type callError struct {
+	Source  string
+	Pattern access.Pattern
+	Inputs  string
+	Err     error
+}
+
+func (e *callError) Error() string {
+	return fmt.Sprintf("engine: calling %s^%s(%s): %v", e.Source, e.Pattern, e.Inputs, e.Err)
+}
+
+func (e *callError) Unwrap() error { return e.Err }
+
 // applyStep runs one adorned literal over the current binding set: group
 // bindings into distinct calls, issue the calls, fan the results back
 // out. Traffic is recorded into sp.
@@ -272,7 +413,7 @@ type stepCall struct {
 // exactly as strong as in materializing evaluation even though the stage
 // only ever sees one batch of the binding stream at a time. Calls issued
 // here are added to it.
-func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile, memo map[string]*stepCall) ([]binding, error) {
+func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, cat *sources.Catalog, bindings []binding, sp *StepProfile, memo map[string]*stepCall, budget *budgetState) ([]binding, error) {
 	src := cat.Source(step.Literal.Atom.Pred)
 	if src == nil {
 		return nil, fmt.Errorf("engine: no source for relation %s", step.Literal.Atom.Pred)
@@ -305,7 +446,7 @@ func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, ca
 		calls = append(calls, c)
 		callOf[i] = c
 	}
-	if err := rt.issue(ctx, src, step, calls, sp); err != nil {
+	if err := rt.issue(ctx, src, step, calls, sp, budget); err != nil {
 		return nil, err
 	}
 	// Fan back out in the original binding order: the output bindings —
@@ -341,7 +482,7 @@ func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, ca
 // issue drives the step's distinct calls through the bounded worker
 // pool and records traffic into sp. On failure every distinct error is
 // reported (joined), and outstanding calls are cancelled.
-func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.AdornedLiteral, calls []*stepCall, sp *StepProfile) error {
+func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.AdornedLiteral, calls []*stepCall, sp *StepProfile, budget *budgetState) error {
 	if len(calls) == 0 {
 		return nil
 	}
@@ -349,7 +490,7 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 	var gauge inFlightGauge
 	if workers := rt.workers(len(calls)); workers <= 1 {
 		for _, c := range calls {
-			c.rows, c.attempts, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge)
+			c.rows, c.attempts, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge, budget)
 			if c.err != nil {
 				break // abort like the sequential loop; later calls stay unissued
 			}
@@ -373,7 +514,7 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 								c.err = fmt.Errorf("engine: source %s panicked: %v", name, r)
 							}
 						}()
-						c.rows, c.attempts, c.err = rt.callWithRetry(cctx, src, name, step.Pattern, c.inputs, &gauge)
+						c.rows, c.attempts, c.err = rt.callWithRetry(cctx, src, name, step.Pattern, c.inputs, &gauge, budget)
 					}()
 					if c.err != nil {
 						cancel() // fail fast: stop issuing, wake sleepers
@@ -403,8 +544,7 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 			cancelled = c.err // secondary: either the real failure or the caller's ctx
 			continue
 		}
-		errs = append(errs, fmt.Errorf("engine: calling %s^%s(%s): %w",
-			name, step.Pattern, strings.Join(c.inputs, ","), c.err))
+		errs = append(errs, &callError{Source: name, Pattern: step.Pattern, Inputs: strings.Join(c.inputs, ","), Err: c.err})
 	}
 	if m := int(gauge.max.Load()); m > sp.MaxInFlight {
 		sp.MaxInFlight = m

@@ -70,7 +70,8 @@ type Stream struct {
 	ttf    time.Duration
 
 	prof     *Profile
-	profDone chan struct{} // closed when prof is fully assembled
+	inc      *Incompleteness // partial-results report; nil in strict mode
+	profDone chan struct{}   // closed when prof (and inc) are fully assembled
 }
 
 // Next advances to the next tuple, blocking until one is available. It
@@ -152,6 +153,29 @@ func (s *Stream) Profile() (Profile, bool) {
 	}
 }
 
+// Incomplete returns the degradation report of a partial-results stream
+// once it has finished (exhausted, failed, or closed). ok is false while
+// the stream is still running or when the stream was not started with
+// StreamOpts.Partial.
+func (s *Stream) Incomplete() (Incompleteness, bool) {
+	select {
+	case <-s.profDone:
+		if s.inc == nil {
+			return Incompleteness{}, false
+		}
+		return *s.inc, true
+	default:
+		return Incompleteness{}, false
+	}
+}
+
+// recordFailure logs a dropped disjunct of a partial-results stream.
+func (s *Stream) recordFailure(i int, rule logic.CQ, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inc.record(i, rule, err)
+}
+
 // fail records the pipeline's first real failure and cancels every
 // stage. Context errors after the consumer closed the stream are the
 // teardown working as intended, not failures.
@@ -189,8 +213,25 @@ func (s *Stream) emit(ctx context.Context, batch []Row) bool {
 
 // rulePipeline is one rule's compiled plan.
 type rulePipeline struct {
+	idx   int // position in the executed union (for failure reports)
 	rule  logic.CQ
 	steps []access.AdornedLiteral
+}
+
+// StreamOpts selects how a streamed execution runs.
+type StreamOpts struct {
+	// Parallel runs all rule pipelines concurrently; emission
+	// interleaving becomes scheduling-dependent.
+	Parallel bool
+	// Partial enables partial-results mode: a rule pipeline that fails
+	// terminally is torn down alone — its failure recorded, its rows
+	// discarded — and the remaining rules keep streaming. To keep the
+	// drained answer byte-identical to a materialized degraded run, each
+	// rule's head rows are held back until its pipeline completes (a
+	// disjunct's answers are only certain once the whole disjunct
+	// succeeded), so Partial trades time-to-first-tuple within a rule for
+	// the certified-underestimate guarantee.
+	Partial bool
 }
 
 // Stream starts pipelined evaluation of the executable plan: one
@@ -204,7 +245,7 @@ type rulePipeline struct {
 // The error return covers plan compilation (a rule not executable as
 // written); runtime failures surface through Stream.Err.
 func (rt *Runtime) Stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Stream, error) {
-	return rt.stream(ctx, u, ps, cat, false)
+	return rt.StreamEval(ctx, u, ps, cat, StreamOpts{})
 }
 
 // StreamParallel is Stream with all rule pipelines running concurrently
@@ -212,12 +253,14 @@ func (rt *Runtime) Stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 // Emission interleaving is scheduling-dependent; the drained answer set
 // is still equal to rt.Answer's.
 func (rt *Runtime) StreamParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog) (*Stream, error) {
-	return rt.stream(ctx, u, ps, cat, true)
+	return rt.StreamEval(ctx, u, ps, cat, StreamOpts{Parallel: true})
 }
 
-func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, parallel bool) (*Stream, error) {
+// StreamEval starts pipelined evaluation with explicit options; Stream
+// and StreamParallel are thin wrappers over it.
+func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o StreamOpts) (*Stream, error) {
 	var pipes []rulePipeline
-	for _, rule := range u.Rules {
+	for i, rule := range u.Rules {
 		if rule.False {
 			continue
 		}
@@ -225,7 +268,7 @@ func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 		if !ok {
 			return nil, fmt.Errorf("engine: rule is not executable as written: %s", rule)
 		}
-		pipes = append(pipes, rulePipeline{rule: rule, steps: steps})
+		pipes = append(pipes, rulePipeline{idx: i, rule: rule, steps: steps})
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Stream{
@@ -235,18 +278,22 @@ func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 		prof:     &Profile{Rules: make([]RuleProfile, len(pipes))},
 		profDone: make(chan struct{}),
 	}
+	if o.Partial {
+		s.inc = &Incompleteness{RulesTotal: len(pipes)}
+	}
+	budget := rt.newBudget()
 	s.wg.Add(1)
 	go func() { // driver
 		defer s.wg.Done()
 		defer close(s.rows)
 		defer close(s.profDone)
-		if parallel {
+		if o.Parallel {
 			var wg sync.WaitGroup
 			for i, p := range pipes {
 				wg.Add(1)
 				go func(i int, p rulePipeline) {
 					defer wg.Done()
-					rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i])
+					rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, o.Partial)
 				}(i, p)
 			}
 			wg.Wait()
@@ -255,7 +302,7 @@ func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 				if sctx.Err() != nil {
 					break
 				}
-				rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i])
+				rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, o.Partial)
 			}
 		}
 		// A context already dead before (or between) pipelines would
@@ -264,6 +311,13 @@ func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 		s.mu.Lock()
 		s.prof.Elapsed = time.Since(s.start)
 		s.prof.TimeToFirst = s.ttf
+		if s.inc != nil {
+			s.inc.RulesSurvived = s.inc.RulesTotal - len(s.inc.Failed)
+			s.prof.DegradedRules = len(s.inc.Failed)
+		}
+		if rt.Budget.active() {
+			s.prof.BudgetSpent = int(budget.spent.Load())
+		}
 		s.mu.Unlock()
 	}()
 	return s, nil
@@ -275,10 +329,48 @@ func (rt *Runtime) stream(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 // the step through the runtime (with a cross-batch dedup memo), and
 // forwards the surviving bindings in batches. The final stage turns
 // bindings into head rows and emits them.
-func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources.Catalog, s *Stream, rp *RuleProfile) {
+//
+// In partial-results mode the rule runs under its own child context: a
+// degradable failure cancels only this rule's stages (the stream stays
+// live for the remaining rules), the failure is recorded, and the head
+// rows — buffered until the pipeline completes — are discarded.
+func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources.Catalog, s *Stream, rp *RuleProfile, budget *budgetState, partial bool) {
 	ruleStart := time.Now()
 	rp.Rule = p.rule.Clone()
 	rp.Steps = make([]StepProfile, len(p.steps))
+
+	// Stages run under rctx; in partial mode it is rule-local, so a
+	// dropped disjunct's teardown cannot touch the other rules.
+	rctx := ctx
+	rcancel := func() {}
+	var failMu sync.Mutex
+	var ruleErr error
+	if partial {
+		rctx, rcancel = context.WithCancel(ctx)
+		defer rcancel()
+	}
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if partial {
+			if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				// Rule-local teardown already under way: the failure that
+				// caused it is recorded; cancellation fallout is not news.
+				return
+			}
+			if degradable(ctx, err) {
+				failMu.Lock()
+				if ruleErr == nil {
+					ruleErr = err
+				}
+				failMu.Unlock()
+				rcancel()
+				return
+			}
+		}
+		s.fail(err)
+	}
 
 	depth := rt.stageBuffer()
 	chans := make([]chan []binding, len(p.steps)+1)
@@ -301,15 +393,15 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 			for batch := range in {
 				sp.BindingsIn += len(batch)
 				t0 := time.Now()
-				next, err := rt.applyStep(ctx, step, cat, batch, sp, memo)
+				next, err := rt.applyStep(rctx, step, cat, batch, sp, memo, budget)
 				sp.Elapsed += time.Since(t0)
 				if err != nil {
-					s.fail(err)
+					fail(err)
 					s.resident.add(int64(-len(batch)))
 					return
 				}
 				sp.BindingsOut += len(next)
-				ok := forwardBatches(ctx, next, rt.batchSize(), out, &s.resident)
+				ok := forwardBatches(rctx, next, rt.batchSize(), out, &s.resident)
 				s.resident.add(int64(-len(batch)))
 				if !ok {
 					return
@@ -318,7 +410,10 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 		}(i, step, chans[i], chans[i+1])
 	}
 
-	// Head stage: bindings → answer rows → consumer.
+	// Head stage: bindings → answer rows → consumer. In partial mode the
+	// rows are held back until the whole pipeline succeeded: a disjunct's
+	// answers are only certain once the disjunct is complete.
+	var held [][]Row // partial mode only; owned by the head goroutine
 	wg.Add(1)
 	go func(in <-chan []binding) {
 		defer wg.Done()
@@ -327,14 +422,19 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 			for _, b := range batch {
 				row, err := headRow(p.rule, b)
 				if err != nil {
-					s.fail(err)
+					fail(err)
 					s.resident.add(int64(-len(batch)))
 					return
 				}
 				rows = append(rows, row)
 			}
+			if partial {
+				held = append(held, rows)
+				s.resident.add(int64(-len(batch)))
+				continue
+			}
 			rp.Answers += len(rows)
-			ok := s.emit(ctx, rows)
+			ok := s.emit(rctx, rows)
 			s.resident.add(int64(-len(batch)))
 			if !ok {
 				return
@@ -347,13 +447,29 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 	s.resident.add(1)
 	select {
 	case chans[0] <- seed:
-	case <-ctx.Done():
-		s.fail(ctx.Err())
+	case <-rctx.Done():
+		fail(rctx.Err())
 		s.resident.add(-1)
 	}
 	close(chans[0])
 
 	wg.Wait()
+	if partial {
+		failMu.Lock()
+		err := ruleErr
+		failMu.Unlock()
+		switch {
+		case err != nil:
+			s.recordFailure(p.idx, p.rule, err)
+		case ctx.Err() == nil:
+			for _, rows := range held {
+				rp.Answers += len(rows)
+				if !s.emit(ctx, rows) {
+					break
+				}
+			}
+		}
+	}
 	rp.Elapsed = time.Since(ruleStart)
 	rp.PeakBindings = int(s.resident.max.Load())
 	if err := ctx.Err(); err != nil {

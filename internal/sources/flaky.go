@@ -21,6 +21,16 @@ type FlakyConfig struct {
 	// N+1st, ... in arrival order), independent of key: a deterministic
 	// 1/N failure fraction.
 	FailEveryN int
+	// Hang turns injected faults from fast errors into hung calls: the
+	// call blocks until the caller's context is done and returns the
+	// context error (context.DeadlineExceeded under a per-call deadline)
+	// instead of a transient error. This is the fault a circuit breaker
+	// and per-call deadline exist for — a service that stops answering
+	// rather than erroring. A hung call through the pattern-only Call
+	// (no context) would block forever, so Hang requires CallContext
+	// with a cancellable context; it composes with Delayed in either
+	// order (wrapper latency elapses first when Delayed is outermost).
+	Hang bool
 }
 
 // Flaky wraps a Source and injects transient failures according to a
@@ -71,6 +81,10 @@ func (f *Flaky) CallContext(ctx context.Context, p access.Pattern, inputs []stri
 	}
 	f.mu.Unlock()
 	if fail {
+		if f.cfg.Hang {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
 		return nil, Transient(fmt.Errorf("sources: %s^%s(%s): injected transient failure", f.Name(), p, strings.Join(inputs, ",")))
 	}
 	return CallWithContext(ctx, f.inner, p, inputs)

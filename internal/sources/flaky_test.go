@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 )
@@ -92,6 +93,48 @@ func TestFlakyHonorsContext(t *testing.T) {
 	cancel()
 	if _, err := f.CallContext(ctx, "ioo", []string{"i1"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFlakyHangBlocksUntilDeadline(t *testing.T) {
+	f := NewFlaky(bookTable(t), FlakyConfig{FailFirst: 1, Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.CallContext(ctx, "ioo", []string{"i1"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded: a hung call ends only with the context", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("hung call returned before the deadline")
+	}
+	if f.Injected() != 1 {
+		t.Errorf("injected = %d, want 1", f.Injected())
+	}
+	// The schedule is spent for this key: the retry gets through.
+	rows, err := f.CallContext(context.Background(), "ioo", []string{"i1"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("retry after hang: rows=%v err=%v", rows, err)
+	}
+}
+
+func TestFlakyHangComposesWithDelayed(t *testing.T) {
+	// Delayed(Flaky{Hang}): the wrapper latency elapses first, then the
+	// injected hang blocks until the deadline; a healthy later call pays
+	// only the latency. Both wrappers keep forwarding stats.
+	f := NewFlaky(bookTable(t), FlakyConfig{FailFirst: 1, Hang: true})
+	d := NewDelayed(f, time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := d.CallContext(ctx, "ioo", []string{"i1"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded through Delayed(Flaky{Hang})", err)
+	}
+	rows, err := d.CallContext(context.Background(), "ioo", []string{"i1"})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("healthy call: rows=%v err=%v", rows, err)
+	}
+	if st := d.StatsSnapshot(); st.Calls != 1 {
+		t.Errorf("stats through both wrappers = %+v, want the 1 call that got through", st)
 	}
 }
 
