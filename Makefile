@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke fault-smoke paperbench check
+.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke paperbench check
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 # The runtime and source wrappers are concurrent; the race detector is
 # part of the tier-1 bar, not an optional extra.
 test-race:
-	$(GO) test -race ./internal/sources/ ./internal/engine/ .
+	$(GO) test -race ./internal/sources/ ./internal/engine/ ./internal/containment/ ./internal/qcache/ .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -25,7 +25,7 @@ bench:
 # E20 streaming pipeline): runs each once, which also exercises their
 # built-in acceptance assertions.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='E19|E20|E21' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='E19|E20|E21|E22' -benchtime=1x .
 
 # Fault-injection smoke: the paper examples' underestimates with one
 # source killed per run must degrade (partial answers + incompleteness
@@ -33,6 +33,13 @@ bench-smoke:
 # per-rule teardown paths.
 fault-smoke:
 	$(GO) test -race -count=1 -run='TestFaultSmoke|TestExecPartial|TestStreamPartial|TestEvalPartial' . ./internal/engine/
+
+# Semantic-cache smoke: every paper example executed twice through one
+# shared query cache — the second (and a streamed third) pass must issue
+# zero source calls and return byte-identical rows; under -race because
+# the cache is shared across concurrent Exec callers in production.
+cache-smoke:
+	$(GO) test -race -count=1 -run='TestCacheSmoke|TestCacheConcurrentExec|TestExecQueryCacheProfile' .
 
 paperbench:
 	$(GO) run ./cmd/paperbench -quick

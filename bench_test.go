@@ -8,6 +8,8 @@ package ucqn
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -867,6 +869,188 @@ func BenchmarkContainmentCaseSplit(b *testing.B) {
 		b.Run(fmt.Sprintf("split-%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				Contained(logic.AsUnion(p), u)
+			}
+		})
+	}
+}
+
+// e22Query is one distinct request of the E22 Zipf workload: a query
+// variant plus the index of the paper-example catalog it runs against.
+type e22Query struct {
+	q  Query
+	ps *PatternSet
+	ci int
+}
+
+// e22Workload builds the distinct request pool: every paper example's
+// executable form together with its α-renamed and literal-padded
+// variants (textually different, semantically identical — the plan
+// cache must collapse them), deterministically shuffled so the Zipf
+// head is not biased toward one example.
+func e22Workload() ([]e22Query, int) {
+	var out []e22Query
+	examples := 0
+	for _, ex := range workload.PaperExamples() {
+		u, ok := smokeQuery(ex)
+		if !ok {
+			continue
+		}
+		for _, v := range cacheVariants(u, "z") {
+			out = append(out, e22Query{q: v, ps: ex.Patterns, ci: examples})
+		}
+		examples++
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, examples
+}
+
+// e22Catalogs builds fresh per-example catalogs behind a per-call
+// latency — rebuilt per mode so every mode starts with cold sources and
+// zeroed meters.
+func e22Catalogs(tb testing.TB, examples int, delay time.Duration) []*Catalog {
+	tb.Helper()
+	cats := make([]*Catalog, 0, examples)
+	for _, ex := range workload.PaperExamples() {
+		if _, ok := smokeQuery(ex); !ok {
+			continue
+		}
+		cat, err := DelayedCatalog(paperInstance(ex.Patterns).MustCatalog(ex.Patterns), delay)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cats = append(cats, cat)
+	}
+	return cats
+}
+
+// e22Seq draws the request sequence: Zipf-distributed indices (s≈1, the
+// repeated-workload regime — roughly 90% of requests repeat an earlier
+// one), the same sequence for every mode.
+func e22Seq(distinct, requests int) []int {
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.01, 1, uint64(distinct-1))
+	seq := make([]int, requests)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+	return seq
+}
+
+// e22Run replays the request sequence through one cache configuration
+// (qc nil = off), returning per-request latencies and total source
+// calls. want pins cross-mode correctness: nil slots are filled, others
+// verified.
+func e22Run(tb testing.TB, reqs []e22Query, cats []*Catalog, seq []int, qc *QueryCache, want []*Rel) ([]time.Duration, int) {
+	tb.Helper()
+	lat := make([]time.Duration, 0, len(seq))
+	for _, idx := range seq {
+		r := reqs[idx]
+		var opts []ExecOption
+		if qc != nil {
+			opts = append(opts, WithQueryCache(qc))
+		}
+		start := time.Now()
+		res, err := Exec(context.Background(), r.q, r.ps, cats[r.ci], opts...)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		rel, err := res.Rel()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+		if want[idx] == nil {
+			want[idx] = rel
+		} else if !rel.Equal(want[idx]) {
+			tb.Fatalf("request %d: answer diverged across modes", idx)
+		}
+	}
+	calls := 0
+	for _, c := range cats {
+		calls += c.TotalStats().Calls
+	}
+	return lat, calls
+}
+
+// pctl returns the p-quantile of the latency sample.
+func pctl(lat []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(p*float64(len(s)-1))]
+}
+
+// E22: the semantic query cache under a Zipf-repeated workload — the
+// acceptance numbers first (≥5× fewer source calls and a lower p50
+// with the full cache; plan-cache hits for the α-renamed and padded
+// variants), then per-mode subbenchmarks.
+func BenchmarkE22QueryCache(b *testing.B) {
+	reqs, examples := e22Workload()
+	if examples == 0 {
+		b.Fatal("no executable paper examples")
+	}
+	seq := e22Seq(len(reqs), 10*len(reqs))
+	want := make([]*Rel, len(reqs))
+	const delay = 200 * time.Microsecond
+
+	offLat, offCalls := e22Run(b, reqs, e22Catalogs(b, examples, delay), seq, nil, want)
+
+	planQC := NewQueryCache(QueryCacheOptions{DisableAnswers: true})
+	_, planCalls := e22Run(b, reqs, e22Catalogs(b, examples, delay), seq, planQC, want)
+
+	fullQC := NewQueryCache(QueryCacheOptions{})
+	fullLat, fullCalls := e22Run(b, reqs, e22Catalogs(b, examples, delay), seq, fullQC, want)
+
+	offP50, fullP50 := pctl(offLat, 0.50), pctl(fullLat, 0.50)
+	b.Logf("requests=%d distinct=%d classes=%d", len(seq), len(reqs), examples)
+	b.Logf("calls: off=%d plan-only=%d full=%d", offCalls, planCalls, fullCalls)
+	b.Logf("p50: off=%s full=%s  p99: off=%s full=%s",
+		offP50, fullP50, pctl(offLat, 0.99), pctl(fullLat, 0.99))
+	b.Logf("full-cache stats: %+v", fullQC.Stats())
+
+	if fullCalls*5 > offCalls {
+		b.Fatalf("full cache made %d source calls, want ≤ off/5 = %d", fullCalls, offCalls/5)
+	}
+	if fullP50 >= offP50 {
+		b.Fatalf("full-cache p50 %s not below uncached %s", fullP50, offP50)
+	}
+	st := fullQC.Stats()
+	if st.PlanMisses != examples {
+		b.Fatalf("plan cache built %d plans, want one per equivalence class (%d): variants must collapse", st.PlanMisses, examples)
+	}
+	if st.PlanHits != len(seq)-examples {
+		b.Fatalf("plan hits = %d, want every other request (%d)", st.PlanHits, len(seq)-examples)
+	}
+	if ps := planQC.Stats(); ps.AnswerHits != 0 || ps.PlanHits == 0 {
+		b.Fatalf("plan-only stats = %+v, want plan hits and no answer hits", ps)
+	}
+
+	modes := []struct {
+		name string
+		qc   func() *QueryCache
+	}{
+		{"off", func() *QueryCache { return nil }},
+		{"plan-only", func() *QueryCache { return NewQueryCache(QueryCacheOptions{DisableAnswers: true}) }},
+		{"full", func() *QueryCache { return NewQueryCache(QueryCacheOptions{}) }},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cats := e22Catalogs(b, examples, delay)
+			qc := m.qc()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := reqs[seq[i%len(seq)]]
+				var opts []ExecOption
+				if qc != nil {
+					opts = append(opts, WithQueryCache(qc))
+				}
+				res, err := Exec(context.Background(), r.q, r.ps, cats[r.ci], opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Rel(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

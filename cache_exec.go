@@ -1,0 +1,183 @@
+package ucqn
+
+// Semantic query cache wiring for Exec: WithQueryCache routes plan
+// compilation through the canonical plan cache and, when possible,
+// serves answers (whole or per-disjunct) from the answer cache. The
+// cache itself lives in internal/qcache; this file is the facade and
+// the two cached execution paths (materialized and streaming).
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/logic"
+	"repro/internal/qcache"
+	"repro/internal/sources"
+)
+
+// QueryCache is the two-tier semantic query cache: a plan cache keyed
+// on an isomorphism-invariant canonical form of the minimized query
+// (α-renamed and non-minimal resubmissions hit without re-planning) and
+// an answer cache that reuses a disjunct's rows only when its
+// minimized core is provably *equivalent* to a cached one and the
+// catalog generation matches. Construct with NewQueryCache, share one
+// instance across Exec callers (it is safe for concurrent use), and
+// attach it per call with WithQueryCache.
+type QueryCache = qcache.Cache
+
+// QueryCacheOptions configures a QueryCache (zero value = defaults:
+// 512 plans, 1024 answer entries, 64 MiB of rows, no TTL).
+type QueryCacheOptions = qcache.Options
+
+// QueryCacheStats are a QueryCache's cumulative counters.
+type QueryCacheStats = qcache.Stats
+
+// NewQueryCache returns a semantic query cache with the given options.
+func NewQueryCache(opt QueryCacheOptions) *QueryCache { return qcache.New(opt) }
+
+// WithQueryCache routes this Exec call through qc: the plan (executable
+// form, orderability, FEASIBLE verdict) is served from the plan cache
+// when an equivalent query was planned before, and answers are reused
+// per disjunct when the catalog's generation still matches. Cached
+// execution accepts any orderable query (the cache plans a reordering),
+// not only queries executable as written. The cache is bypassed — not
+// an error — under WithNaive, WithAnswerStar/WithImproveUnder, and
+// WithStats (cost ordering is statistics-dependent, so its plans are
+// not a pure function of the query and patterns).
+func WithQueryCache(qc *QueryCache) ExecOption { return func(c *execConfig) { c.qc = qc } }
+
+// useQueryCache reports whether this Exec call goes through the cache.
+func (c *execConfig) useQueryCache() bool {
+	return c.qc != nil && c.naive == nil && !c.star && !c.hasStats
+}
+
+// cacheProfile seeds an ExecProfile's cache counters from a plan lookup
+// and an answer-cache consultation.
+func cacheProfile(info qcache.PlanInfo, hit qcache.AnswerHit) engine.Profile {
+	var p engine.Profile
+	if info.Hit {
+		p.PlanCacheHits = 1
+	}
+	p.CacheEvictions = info.Evictions
+	if hit.Full != nil {
+		p.AnswerCacheHits = 1
+	} else {
+		p.PartialReuseRules = hit.CachedRules
+	}
+	return p
+}
+
+// liveRemainder extracts the sub-union of exec rules the answer cache
+// did not cover, with remap[i] = the original index of sub.Rules[i].
+func liveRemainder(exec logic.UCQ, hit qcache.AnswerHit) (sub logic.UCQ, remap []int) {
+	for i, r := range exec.Rules {
+		if r.False || hit.Covered[i] {
+			continue
+		}
+		sub.Rules = append(sub.Rules, r)
+		remap = append(remap, i)
+	}
+	return sub, remap
+}
+
+// completeInc is the Incompleteness of a fully cached partial-results
+// run: every disjunct covered, none failed.
+func completeInc(rules int) *engine.Incompleteness {
+	return &engine.Incompleteness{RulesTotal: rules, RulesSurvived: rules}
+}
+
+// execCachedMaterialized is Exec's materialized path through the cache.
+func execCachedMaterialized(ctx context.Context, rt *Runtime, c *execConfig, entry *qcache.PlanEntry, info qcache.PlanInfo, ps *PatternSet, cat *sources.Catalog) (*Result, error) {
+	hit := c.qc.Answers(entry, cat)
+	prof := cacheProfile(info, hit)
+	if hit.Full != nil {
+		var inc *engine.Incompleteness
+		if c.partial {
+			inc = completeInc(hit.ReusedRules)
+		}
+		return &Result{rel: hit.Full, profiled: c.profile, prof: prof, inc: inc}, nil
+	}
+
+	exec := entry.Exec()
+	sub, remap := liveRemainder(exec, hit)
+	rels := make([]*engine.Rel, len(exec.Rules))
+	_, liveProf, inc, err := rt.Eval(ctx, sub, ps, cat, engine.EvalOpts{
+		Parallel: c.parallel,
+		Profile:  c.profile,
+		Partial:  c.partial,
+		OnRuleDone: func(i int, rel *engine.Rel) {
+			rels[remap[i]] = rel
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble in original rule order — cached rows and live rows insert
+	// exactly as a sequential uncached evaluation would.
+	out := engine.NewRel()
+	for i := range exec.Rules {
+		if hit.Covered[i] {
+			for _, row := range hit.Rows[i] {
+				out.Add(row)
+			}
+		} else if rels[i] != nil {
+			for _, row := range rels[i].Rows() {
+				out.Add(row)
+			}
+		}
+	}
+
+	// Credit the reused disjuncts to the degradation accounting and map
+	// the live sub-union's rule indexes back to the full plan's.
+	if inc != nil {
+		for j := range inc.Failed {
+			if idx := inc.Failed[j].RuleIndex; idx >= 0 && idx < len(remap) {
+				inc.Failed[j].RuleIndex = remap[idx]
+			}
+		}
+		inc.RulesTotal += hit.ReusedRules
+		inc.RulesSurvived += hit.ReusedRules
+	}
+
+	// Degraded disjuncts left rels[i] nil, so only complete per-disjunct
+	// answers are stored.
+	evicted := c.qc.StoreAnswers(entry, cat, rels)
+
+	liveProf.PlanCacheHits += prof.PlanCacheHits
+	liveProf.PartialReuseRules += prof.PartialReuseRules
+	liveProf.CacheEvictions += prof.CacheEvictions + evicted
+	return &Result{rel: out, profiled: c.profile, prof: liveProf, inc: inc}, nil
+}
+
+// execCachedStream is Exec's streaming path through the cache. A full
+// answer hit replays the cached relation; a partial hit prepends the
+// cached disjuncts' rows to a live stream over the remainder. Streamed
+// runs do not fill the answer cache (their per-disjunct answers are
+// never materialized separately); a materialized run does.
+func execCachedStream(ctx context.Context, rt *Runtime, c *execConfig, entry *qcache.PlanEntry, info qcache.PlanInfo, ps *PatternSet, cat *sources.Catalog) (*Result, error) {
+	hit := c.qc.Answers(entry, cat)
+	prof := cacheProfile(info, hit)
+	if hit.Full != nil {
+		var inc *engine.Incompleteness
+		if c.partial {
+			inc = completeInc(hit.ReusedRules)
+		}
+		return &Result{stream: engine.ReplayStream(hit.Full, prof, inc), profiled: c.profile}, nil
+	}
+
+	exec := entry.Exec()
+	sub, remap := liveRemainder(exec, hit)
+	var pre []engine.Row
+	for i := range exec.Rules {
+		for _, row := range hit.Rows[i] {
+			pre = append(pre, row)
+		}
+	}
+	inner, err := rt.StreamEval(ctx, sub, ps, cat, engine.StreamOpts{Parallel: c.parallel, Partial: c.partial})
+	if err != nil {
+		return nil, err
+	}
+	s := engine.ComposeStream(pre, inner, prof, hit.ReusedRules, remap)
+	return &Result{stream: s, profiled: c.profile}, nil
+}

@@ -1,5 +1,5 @@
 // Command paperbench regenerates every experiment of DESIGN.md
-// (E1–E21): the reproduction of the algorithms, worked examples, and
+// (E1–E22): the reproduction of the algorithms, worked examples, and
 // complexity claims of Nash & Ludäscher (EDBT 2004). Each experiment
 // prints one table; EXPERIMENTS.md records the expected shapes.
 //
@@ -12,6 +12,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -59,6 +60,7 @@ func main() {
 		{"E19", "ablation: source-call runtime (dedup, concurrency, retries)", e19},
 		{"E20", "streaming pipeline: time-to-first-tuple vs materialized", e20},
 		{"E21", "graceful degradation: breaker savings and underestimate size", e21},
+		{"E22", "semantic query cache: Zipf repeated workload", e22},
 	}
 	found := false
 	for _, e := range experiments {
@@ -1073,5 +1075,144 @@ func e21() {
 	fmt.Println("expected: answers shrink by exactly 10 rows per killed source; survived+dropped always totals 8; ratio is the certified completeness floor")
 }
 
-// keep sort import used (tables may need it later)
-var _ = sort.Ints
+func e22() {
+	// Semantic query cache under a Zipf-repeated workload: the paper
+	// examples' executable forms plus α-renamed and literal-padded
+	// variants, requests drawn Zipf(s≈1) so ~90% repeat an earlier
+	// query, sources behind a simulated round-trip latency. Three modes:
+	// cache off, plan cache only (canonicalization and planning
+	// amortized, answers live), and the full two-tier cache.
+	delay := 200 * time.Microsecond
+	factor := 10
+	if *quick {
+		factor = 4
+	}
+
+	// The paper-instance generator of the test suite: deterministic,
+	// with enough value sharing that joins repeat keys.
+	instance := func(ps *ucqn.PatternSet) *ucqn.Instance {
+		in := ucqn.NewInstance()
+		dom := []string{"a", "b", "c", "d"}
+		for _, rel := range ps.Relations() {
+			ar := ps.Arity(rel)
+			for i := 0; i < 8; i++ {
+				vals := make([]string, ar)
+				for j := range vals {
+					vals[j] = dom[(i+2*j)%len(dom)]
+				}
+				in.MustAdd(rel, vals...)
+			}
+		}
+		return in
+	}
+	executable := func(ex workload.PaperExample) (ucqn.Query, bool) {
+		if ordered, ok := ucqn.Reorder(ex.Query, ex.Patterns); ok {
+			return ordered, true
+		}
+		under := ucqn.Plan(ex.Query, ex.Patterns).Under
+		for _, r := range under.Rules {
+			if !r.False {
+				return under, true
+			}
+		}
+		return ucqn.Query{}, false
+	}
+
+	type request struct {
+		q  ucqn.Query
+		ps *ucqn.PatternSet
+		ci int
+	}
+	var reqs []request
+	examples := 0
+	for _, ex := range workload.PaperExamples() {
+		u, ok := executable(ex)
+		if !ok {
+			continue
+		}
+		for _, v := range []ucqn.Query{
+			u,
+			workload.AlphaRename(u, "z"),
+			workload.PadRedundant(u),
+			workload.PadRedundant(workload.AlphaRename(u, "zp")),
+		} {
+			reqs = append(reqs, request{q: v, ps: ex.Patterns, ci: examples})
+		}
+		examples++
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	catalogs := func() []*ucqn.Catalog {
+		var cats []*ucqn.Catalog
+		for _, ex := range workload.PaperExamples() {
+			if _, ok := executable(ex); !ok {
+				continue
+			}
+			base, err := instance(ex.Patterns).Catalog(ex.Patterns)
+			if err != nil {
+				panic(err)
+			}
+			cat, err := ucqn.DelayedCatalog(base, delay)
+			if err != nil {
+				panic(err)
+			}
+			cats = append(cats, cat)
+		}
+		return cats
+	}
+
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.01, 1, uint64(len(reqs)-1))
+	seq := make([]int, factor*len(reqs))
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	pctl := func(lat []time.Duration, p float64) time.Duration {
+		s := append([]time.Duration(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[int(p*float64(len(s)-1))]
+	}
+
+	fmt.Printf("requests=%d distinct=%d equivalence classes=%d zipf s≈1 latency=%s\n", len(seq), len(reqs), examples, delay)
+	fmt.Printf("%-10s %10s %10s %10s %12s %12s\n", "mode", "src-calls", "plan-hits", "ans-hits", "p50", "p99")
+	for _, mode := range []string{"off", "plan-only", "full"} {
+		var qc *ucqn.QueryCache
+		switch mode {
+		case "plan-only":
+			qc = ucqn.NewQueryCache(ucqn.QueryCacheOptions{DisableAnswers: true})
+		case "full":
+			qc = ucqn.NewQueryCache(ucqn.QueryCacheOptions{})
+		}
+		cats := catalogs()
+		var lat []time.Duration
+		for _, idx := range seq {
+			r := reqs[idx]
+			var opts []ucqn.ExecOption
+			if qc != nil {
+				opts = append(opts, ucqn.WithQueryCache(qc))
+			}
+			start := time.Now()
+			res, err := ucqn.Exec(context.Background(), r.q, r.ps, cats[r.ci], opts...)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := res.Rel(); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		calls := 0
+		for _, c := range cats {
+			calls += c.TotalStats().Calls
+		}
+		planHits, ansHits := "-", "-"
+		if qc != nil {
+			st := qc.Stats()
+			planHits, ansHits = fmt.Sprint(st.PlanHits), fmt.Sprint(st.AnswerHits)
+		}
+		fmt.Printf("%-10s %10d %10s %10s %12s %12s\n", mode, calls, planHits, ansHits,
+			pctl(lat, 0.50).Round(time.Microsecond), pctl(lat, 0.99).Round(time.Microsecond))
+	}
+	fmt.Println("expected: one plan build per equivalence class (variants collapse); the full cache cuts source calls ≥5× and p50 by orders of magnitude; plan-only already beats off (minimal representative plans)")
+}

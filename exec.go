@@ -36,6 +36,7 @@ type execConfig struct {
 	hasINDs   bool
 	stats     PlanStats
 	hasStats  bool
+	qc        *QueryCache
 }
 
 // ExecOption configures Exec; build them with the With... constructors.
@@ -240,6 +241,16 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 			return nil, errors.New("ucqn: query is not orderable under the declared access patterns")
 		}
 		q = ordered
+	}
+	if c.useQueryCache() {
+		entry, info := c.qc.Plan(q, ps)
+		if err := entry.Err(); err != nil {
+			return nil, err
+		}
+		if c.streaming {
+			return execCachedStream(ctx, rt, &c, entry, info, ps, cat)
+		}
+		return execCachedMaterialized(ctx, rt, &c, entry, info, ps, cat)
 	}
 	switch {
 	case c.star:

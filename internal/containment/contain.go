@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -18,7 +19,13 @@ import (
 //
 // Checker also counts the work done (recursion nodes and containment
 // mappings tried), which the benchmark harness reports.
+//
+// A Checker is safe for concurrent use: Contains, ContainsLimited, and
+// Explain serialize on an internal mutex (the memo table and the
+// Nodes/limit counters are shared mutable state). The exported counters
+// are only meaningful when read with no call in flight.
 type Checker struct {
+	mu    sync.Mutex
 	q     logic.UCQ
 	memo  map[string]bool
 	limit int
@@ -66,6 +73,8 @@ func (c *Checker) ContainsLimited(p logic.CQ, maxNodes int) (result bool, err er
 	if maxNodes <= 0 {
 		return false, ErrBudget
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.limit = c.Nodes + maxNodes
 	defer func() {
 		c.limit = 0
@@ -77,13 +86,20 @@ func (c *Checker) ContainsLimited(p logic.CQ, maxNodes int) (result bool, err er
 			panic(r)
 		}
 	}()
-	return c.Contains(p), nil
+	return c.contains(p), nil
 }
 
 var errBudgetSentinel = new(int)
 
 // Contains reports whether p ⊑ q for the checker's query q.
 func (c *Checker) Contains(p logic.CQ) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.contains(p)
+}
+
+// contains is the recursive body of Contains; c.mu must be held.
+func (c *Checker) contains(p logic.CQ) bool {
 	c.Nodes++
 	if c.limit > 0 && c.Nodes > c.limit {
 		panic(errBudgetSentinel)
@@ -155,7 +171,7 @@ func (c *Checker) viaDisjunct(p, qi logic.CQ) bool {
 			}
 			ext := p.Clone()
 			ext.Body = append(ext.Body, logic.Pos(ra))
-			if !c.Contains(ext) {
+			if !c.contains(ext) {
 				return false
 			}
 		}

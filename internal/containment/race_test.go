@@ -1,0 +1,127 @@
+package containment
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCheckerConcurrentHammer exercises a shared checker from many
+// goroutines (run under -race): the memo table, the Nodes counter, and
+// the budget limit are shared state behind the mutex.
+func TestCheckerConcurrentHammer(t *testing.T) {
+	q := ucq(t, `
+		Q(x) :- R(x), not S1(x), not S2(x).
+		Q(x) :- R(x), S1(x).
+		Q(x) :- R(x), S2(x).
+	`)
+	probes := []struct {
+		src  string
+		want bool
+	}{
+		{`Q(x) :- R(x).`, true},
+		{`Q(y) :- R(y), S1(y).`, true},
+		{`Q(x) :- T(x).`, false},
+		{`Q(x) :- R(x), not S1(x).`, true}, // the union is equivalent to R
+		{`Q(x) :- S1(x).`, false},
+	}
+	c := NewChecker(q)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := probes[(g+i)%len(probes)]
+				if got := c.Contains(cq(t, p.src)); got != p.want {
+					t.Errorf("Contains(%s) = %v, want %v", p.src, got, p.want)
+				}
+				if g%2 == 0 {
+					// Budgeted calls share the same limit field; they must
+					// not corrupt concurrent unlimited calls.
+					if _, err := c.ContainsLimited(cq(t, p.src), 1_000_000); err != nil {
+						t.Errorf("ContainsLimited: %v", err)
+					}
+				}
+				if g%3 == 0 {
+					if w, ok := c.Explain(cq(t, probes[0].src)); !ok || w == nil {
+						t.Error("Explain lost a witness under concurrency")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestContainsLimitedResetsLimit pins the budget bookkeeping: after a
+// budget abort the limit is cleared, so a later unlimited Contains can
+// run arbitrarily far past the old bound, and a later generous
+// ContainsLimited is unaffected by the earlier exhaustion.
+func TestContainsLimitedResetsLimit(t *testing.T) {
+	q := ucq(t, `
+		Q(x) :- R(x), not S1(x), not S2(x), not S3(x).
+		Q(x) :- R(x), S1(x).
+		Q(x) :- R(x), S2(x).
+		Q(x) :- R(x), S3(x).
+	`)
+	p := cq(t, `Q(x) :- R(x).`)
+	c := NewChecker(q)
+	if _, err := c.ContainsLimited(p, 2); err != ErrBudget {
+		t.Fatalf("tiny budget: got %v, want ErrBudget", err)
+	}
+	if c.limit != 0 {
+		t.Fatalf("limit = %d after abort, want 0", c.limit)
+	}
+	nodesAfterAbort := c.Nodes
+	// The unlimited call must sail past the exhausted budget's bound.
+	if !c.Contains(p) {
+		t.Fatal("unlimited Contains after abort must decide true")
+	}
+	if c.Nodes <= nodesAfterAbort+2 {
+		t.Errorf("unlimited Contains did only %d nodes past the abort; the stale limit is still in force", c.Nodes-nodesAfterAbort)
+	}
+	if c.limit != 0 {
+		t.Errorf("limit = %d after unlimited Contains, want 0", c.limit)
+	}
+	// And a fresh budgeted call starts its budget from the current node
+	// count rather than the aborted one.
+	c.memo = map[string]bool{} // force a real re-search
+	got, err := c.ContainsLimited(p, 1_000_000)
+	if err != nil || !got {
+		t.Errorf("generous budget after abort = %v, %v; want true, nil", got, err)
+	}
+}
+
+// TestContainsLimitedMidSearchAbort exhausts the budget strictly in the
+// middle of the recursion (the query forces child containment checks)
+// and checks the checker is reusable for a different probe afterwards.
+func TestContainsLimitedMidSearchAbort(t *testing.T) {
+	q := ucq(t, `
+		Q(x) :- R(x), not S1(x), not S2(x), not S3(x), not S4(x).
+		Q(x) :- R(x), S1(x).
+		Q(x) :- R(x), S2(x).
+		Q(x) :- R(x), S3(x).
+		Q(x) :- R(x), S4(x).
+	`)
+	p := cq(t, `Q(x) :- R(x).`)
+	c := NewChecker(q)
+	// Find a budget that aborts mid-search: more than one node, fewer
+	// than the full search needs.
+	full := NewChecker(q)
+	if !full.Contains(p) {
+		t.Fatal("sanity: containment must hold")
+	}
+	if full.Nodes < 4 {
+		t.Fatalf("sanity: search too small (%d nodes) to abort mid-way", full.Nodes)
+	}
+	if _, err := c.ContainsLimited(p, full.Nodes/2); err != ErrBudget {
+		t.Fatalf("mid-search budget: got %v, want ErrBudget", err)
+	}
+	// Reusable for a different probe after the panic-recover.
+	if c.Contains(cq(t, `Q(x) :- T(x).`)) {
+		t.Error("checker decided a false containment after recovery")
+	}
+	if got, err := c.ContainsLimited(p, 1_000_000); err != nil || !got {
+		t.Errorf("post-recovery budgeted call = %v, %v; want true, nil", got, err)
+	}
+}

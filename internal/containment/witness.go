@@ -59,6 +59,13 @@ func (w *Witness) render(b *strings.Builder, depth int) {
 // records the successful branch; its memo only caches failures, since
 // successes must be rebuilt per branch to capture their subtrees.
 func (c *Checker) Explain(p logic.CQ) (*Witness, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.explain(p)
+}
+
+// explain is the recursive body of Explain; c.mu must be held.
+func (c *Checker) explain(p logic.CQ) (*Witness, bool) {
 	c.Nodes++
 	if !Satisfiable(p) {
 		return &Witness{Unsat: true}, true
@@ -93,7 +100,7 @@ func (c *Checker) explainDisjunct(p, qi logic.CQ, index int) (*Witness, bool) {
 			}
 			ext := p.Clone()
 			ext.Body = append(ext.Body, logic.Pos(ra))
-			sub, ok := c.Explain(ext)
+			sub, ok := c.explain(ext)
 			if !ok {
 				return false
 			}

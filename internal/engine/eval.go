@@ -43,6 +43,13 @@ type EvalOpts struct {
 	// certified underestimate of the full answer. Caller-context
 	// cancellation and compile-time planning errors still abort.
 	Partial bool
+	// OnRuleDone, when set, is called once per successfully evaluated
+	// non-False rule with the rule's index in u.Rules and that rule's own
+	// answer relation (before union dedup). The semantic query cache uses
+	// it to store per-disjunct answers. Calls are serialized: sequential
+	// evaluation invokes it in rule order, parallel evaluation from the
+	// single-threaded merge.
+	OnRuleDone func(i int, rel *Rel)
 }
 
 // Eval is the engine's single materializing entry point: Answer,
@@ -96,8 +103,9 @@ func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.S
 		}
 		// In partial mode each rule evaluates into its own relation, so
 		// a disjunct that dies mid-head leaves no partial rows behind.
+		// A per-rule observer needs the same separation.
 		target := out
-		if inc != nil {
+		if inc != nil || o.OnRuleDone != nil {
 			target = NewRel()
 		}
 		if err := rt.answerRule(ctx, rule, ps, cat, target, rp, budget); err != nil {
@@ -107,7 +115,7 @@ func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.S
 			inc.record(i, rule, err)
 			continue
 		}
-		if inc != nil {
+		if target != out {
 			added := 0
 			for _, row := range target.Rows() {
 				if out.Add(row) {
@@ -116,6 +124,9 @@ func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.S
 			}
 			if rp != nil {
 				rp.Answers = added
+			}
+			if o.OnRuleDone != nil {
+				o.OnRuleDone(i, target)
 			}
 		}
 	}

@@ -116,6 +116,9 @@ func (rt *Runtime) evalParallel(ctx context.Context, u logic.UCQ, ps *access.Set
 			rps[i].Answers = added
 			prof.Rules = append(prof.Rules, rps[i])
 		}
+		if o.OnRuleDone != nil {
+			o.OnRuleDone(i, r.rel)
+		}
 	}
 	return out, prof, nil
 }

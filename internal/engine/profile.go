@@ -86,6 +86,20 @@ type Profile struct {
 	// DegradedRules counts the disjuncts dropped in partial-results mode
 	// (0 in strict mode or on a complete run).
 	DegradedRules int
+
+	// PlanCacheHits counts plan-cache hits the semantic query cache
+	// served this execution (0 or 1 per Exec; kept an int so profiles
+	// can be summed across requests).
+	PlanCacheHits int
+	// AnswerCacheHits counts full answer-cache hits: the whole result
+	// was served from cached rows with no live evaluation.
+	AnswerCacheHits int
+	// PartialReuseRules counts the disjuncts whose rows were reused from
+	// the answer cache while the remaining disjuncts ran live.
+	PartialReuseRules int
+	// CacheEvictions counts query-cache entries (plans or answers)
+	// evicted while serving this execution.
+	CacheEvictions int
 }
 
 // TotalCalls sums source calls across all rules.
@@ -182,6 +196,10 @@ func (p Profile) String() string {
 	}
 	if p.BudgetSpent > 0 {
 		fmt.Fprintf(&b, "budget spent: %d call(s)\n", p.BudgetSpent)
+	}
+	if p.PlanCacheHits > 0 || p.AnswerCacheHits > 0 || p.PartialReuseRules > 0 || p.CacheEvictions > 0 {
+		fmt.Fprintf(&b, "cache: plan hits=%d answer hits=%d reused rules=%d evictions=%d\n",
+			p.PlanCacheHits, p.AnswerCacheHits, p.PartialReuseRules, p.CacheEvictions)
 	}
 	if p.Elapsed > 0 {
 		fmt.Fprintf(&b, "total %s\n", p.Elapsed.Round(time.Microsecond))

@@ -1,0 +1,113 @@
+package engine
+
+// Cache replay support for the streaming path. ReplayStream serves a
+// fully cached answer through the Stream interface; ComposeStream
+// prepends cached disjunct rows to a live stream over the remaining
+// disjuncts and merges the bookkeeping. Both live in this package
+// because they assemble Stream's internals; the policy of *what* to
+// replay belongs to internal/qcache and the Exec facade.
+
+import (
+	"context"
+	"time"
+)
+
+// ReplayStream returns an already-finished Stream that yields the rows
+// of rel (as one batch, in rel's insertion order) and then reports the
+// given profile and incompleteness. Drained, it is byte-identical to
+// the materialized relation it replays. inc may be nil (strict mode).
+func ReplayStream(rel *Rel, prof Profile, inc *Incompleteness) *Stream {
+	s := &Stream{
+		rows:     make(chan []Row, 1),
+		cancel:   func() {},
+		start:    time.Now(),
+		profDone: make(chan struct{}),
+	}
+	if rows := rel.Rows(); len(rows) > 0 {
+		s.rows <- rows
+	}
+	close(s.rows)
+	p := prof
+	s.prof = &p
+	s.inc = inc
+	close(s.profDone)
+	return s
+}
+
+// ComposeStream returns a Stream that first yields pre (the rows reused
+// from the answer cache, one batch) and then forwards every batch of
+// inner (the live stream over the disjuncts that were not reused).
+// When inner finishes, its profile is merged with extra's cache
+// counters; its incompleteness report, if any, is re-indexed through
+// remap (remap[i] = the original rule index of inner's rule i) and
+// widened by reusedRules disjuncts that were served from cache (reused
+// disjuncts always count as survived). Closing the composed stream
+// tears inner down; inner's teardown cancellation is not reported as an
+// error.
+func ComposeStream(pre []Row, inner *Stream, extra Profile, reusedRules int, remap []int) *Stream {
+	cctx, ccancel := context.WithCancel(context.Background())
+	out := &Stream{
+		rows:     make(chan []Row, 1),
+		start:    time.Now(),
+		profDone: make(chan struct{}),
+	}
+	out.cancel = func() {
+		ccancel()
+		// Mark inner consumer-closed before cancelling it, so its
+		// pipelines treat the cancellation as clean teardown rather
+		// than a failure.
+		inner.mu.Lock()
+		inner.closed = true
+		inner.mu.Unlock()
+		inner.cancel()
+	}
+	out.wg.Add(1)
+	go func() {
+		defer out.wg.Done()
+		if len(pre) > 0 {
+			out.emit(cctx, pre)
+		}
+		for batch := range inner.rows {
+			if !out.emit(cctx, batch) {
+				break
+			}
+		}
+		err := inner.Close()
+
+		prof := extra
+		if p, ok := inner.Profile(); ok {
+			cache := prof
+			prof = p
+			prof.PlanCacheHits += cache.PlanCacheHits
+			prof.AnswerCacheHits += cache.AnswerCacheHits
+			prof.PartialReuseRules += cache.PartialReuseRules
+			prof.CacheEvictions += cache.CacheEvictions
+		}
+		var inc *Incompleteness
+		if in, ok := inner.Incomplete(); ok {
+			merged := in
+			merged.Failed = append([]RuleFailure(nil), in.Failed...)
+			for i := range merged.Failed {
+				if idx := merged.Failed[i].RuleIndex; idx >= 0 && idx < len(remap) {
+					merged.Failed[i].RuleIndex = remap[idx]
+				}
+			}
+			merged.RulesTotal += reusedRules
+			merged.RulesSurvived += reusedRules
+			inc = &merged
+		}
+
+		out.mu.Lock()
+		prof.Elapsed = time.Since(out.start)
+		prof.TimeToFirst = out.ttf
+		out.prof = &prof
+		out.inc = inc
+		if err != nil && out.err == nil && !out.closed {
+			out.err = err
+		}
+		out.mu.Unlock()
+		close(out.rows)
+		close(out.profDone)
+	}()
+	return out
+}

@@ -58,6 +58,19 @@ func equivalentCQ(a, b logic.CQ) bool {
 	return containment.ContainedCQ(a, b) && containment.ContainedCQ(b, a)
 }
 
+// Cores minimizes each rule of u independently, preserving positions:
+// result[i] is the core of u.Rules[i] (or the query "false" when the
+// rule is unsatisfiable). Unlike UCQ it never drops or reorders
+// disjuncts, so callers can correlate cores with the original rules —
+// the semantic query cache keys each disjunct's answers by its core.
+func Cores(u logic.UCQ) []logic.CQ {
+	out := make([]logic.CQ, len(u.Rules))
+	for i, r := range u.Rules {
+		out[i] = CQ(r)
+	}
+	return out
+}
+
 // UCQ returns a minimal union equivalent to u: each rule is minimized,
 // then rules contained in the union of the others are removed (so the
 // result has no redundant disjunct).

@@ -146,3 +146,33 @@ func TestMinimizeKeepsHeadCoverage(t *testing.T) {
 		}
 	}
 }
+
+func TestCoresPreservesPositions(t *testing.T) {
+	u := ucq(t, `
+		Q(x) :- R(x, y), R(x, z).
+		Q(x) :- S(x), not S(x).
+		Q(x) :- T(x).
+	`)
+	cores := Cores(u)
+	if len(cores) != len(u.Rules) {
+		t.Fatalf("Cores returned %d entries for %d rules", len(cores), len(u.Rules))
+	}
+	if len(cores[0].Body) != 1 {
+		t.Errorf("core of rule 0 = %s, want the single-literal core", cores[0])
+	}
+	if !cores[1].False {
+		t.Errorf("core of unsatisfiable rule 1 = %s, want false", cores[1])
+	}
+	if !cores[2].Equal(u.Rules[2]) {
+		t.Errorf("core of minimal rule 2 = %s, want it unchanged", cores[2])
+	}
+	// Each non-false core is equivalent to its rule.
+	for i, c := range cores {
+		if c.False {
+			continue
+		}
+		if !containment.Equivalent(logic.AsUnion(c), logic.AsUnion(u.Rules[i])) {
+			t.Errorf("core %d not equivalent to its rule", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sources
 
 import (
+	"container/list"
 	"context"
 	"strings"
 	"sync"
@@ -12,21 +13,34 @@ import (
 // pattern and inputs are served locally. Mediator plans join through
 // remote services, so the same lookup is often issued once per binding;
 // caching converts that to one remote call. The wrapper is safe for
-// concurrent use and exposes hit/miss counters.
+// concurrent use and exposes hit/miss/eviction counters.
 //
 // Concurrent misses on the same key are collapsed into a single inner
 // call (singleflight): the first caller fetches, the others wait for its
 // result. Followers are counted as hits — they were served without
 // inner traffic — so misses counts exactly the inner calls made.
+//
+// A capacity (NewCachedWithCapacity) bounds the number of cached keys
+// with least-recently-used eviction; serving workloads otherwise grow
+// the call cache without limit. Zero capacity means unbounded.
 type Cached struct {
-	inner Source
+	inner    Source
+	capacity int // 0 = unbounded
 
-	mu       sync.Mutex
-	cache    map[string][]Tuple
-	inflight map[string]*flight
-	gen      int // bumped by Reset; fetches from an old generation are not installed
-	hits     int
-	misses   int
+	mu        sync.Mutex
+	cache     map[string]*list.Element // key -> element in lru
+	lru       *list.List               // of *cacheEntry; front = most recently used
+	inflight  map[string]*flight
+	gen       int // bumped by Reset; fetches from an old generation are not installed
+	hits      int
+	misses    int
+	evictions int
+}
+
+// cacheEntry is one cached key with its rows.
+type cacheEntry struct {
+	key  string
+	rows []Tuple
 }
 
 // flight is one in-progress inner fetch that concurrent callers of the
@@ -37,9 +51,25 @@ type flight struct {
 	err  error
 }
 
-// NewCached wraps src with a cache.
+// NewCached wraps src with an unbounded cache.
 func NewCached(src Source) *Cached {
-	return &Cached{inner: src, cache: map[string][]Tuple{}, inflight: map[string]*flight{}}
+	return NewCachedWithCapacity(src, 0)
+}
+
+// NewCachedWithCapacity wraps src with a cache of at most maxEntries
+// keys, evicting the least recently used key when full. A maxEntries of
+// zero (or negative) means unbounded.
+func NewCachedWithCapacity(src Source, maxEntries int) *Cached {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cached{
+		inner:    src,
+		capacity: maxEntries,
+		cache:    map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*flight{},
+	}
 }
 
 // Name implements Source.
@@ -64,8 +94,10 @@ func (c *Cached) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
 	key := string(p) + "\x00" + strings.Join(inputs, "\x1f")
 	c.mu.Lock()
-	if rows, ok := c.cache[key]; ok {
+	if elem, ok := c.cache[key]; ok {
 		c.hits++
+		c.lru.MoveToFront(elem)
+		rows := elem.Value.(*cacheEntry).rows
 		c.mu.Unlock()
 		return copyTuples(rows), nil
 	}
@@ -98,7 +130,7 @@ func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []str
 		f.rows = copyTuples(rows)
 		if gen == c.gen {
 			c.misses++
-			c.cache[key] = f.rows
+			c.install(key, f.rows)
 		}
 	}
 	if gen == c.gen {
@@ -110,6 +142,21 @@ func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []str
 		return nil, err
 	}
 	return rows, nil
+}
+
+// install adds a fetched key to the cache and evicts past capacity;
+// c.mu must be held.
+func (c *Cached) install(key string, rows []Tuple) {
+	c.cache[key] = c.lru.PushFront(&cacheEntry{key: key, rows: rows})
+	if c.capacity <= 0 {
+		return
+	}
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.cache, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
 }
 
 func copyTuples(rows []Tuple) []Tuple {
@@ -127,16 +174,24 @@ func (c *Cached) HitsMisses() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// Evictions returns the number of keys evicted by the capacity bound.
+func (c *Cached) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
 // Reset clears the cache and counters (call after the underlying data
 // changes). In-flight fetches complete against the old generation; their
 // results are not installed into the fresh cache.
 func (c *Cached) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cache = map[string][]Tuple{}
+	c.cache = map[string]*list.Element{}
+	c.lru = list.New()
 	c.inflight = map[string]*flight{}
 	c.gen++
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // StatsSnapshot implements StatsReporter by forwarding to the wrapped

@@ -212,3 +212,53 @@ func TestCachedCatalog(t *testing.T) {
 		t.Errorf("PatternSet through wrapper = %q", got)
 	}
 }
+
+func TestCachedCapacityLRU(t *testing.T) {
+	b := bookTable(t)
+	c := NewCachedWithCapacity(b, 2)
+	call := func(id string) {
+		t.Helper()
+		if _, err := c.Call("ioo", []string{id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call("i1")
+	call("i2")
+	call("i1") // refresh i1: i2 is now the LRU key
+	call("i3") // evicts i2
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	inner := b.StatsSnapshot().Calls
+	call("i1") // still cached
+	if got := b.StatsSnapshot().Calls; got != inner {
+		t.Errorf("i1 was evicted: inner calls went %d -> %d", inner, got)
+	}
+	call("i2") // evicted, refetches (and evicts i3)
+	if got := b.StatsSnapshot().Calls; got != inner+1 {
+		t.Errorf("i2 must refetch after eviction: inner calls %d, want %d", got, inner+1)
+	}
+	if ev := c.Evictions(); ev != 2 {
+		t.Errorf("evictions = %d, want 2", ev)
+	}
+	hits, misses := c.HitsMisses()
+	if misses != 4 {
+		t.Errorf("misses = %d (hits %d), want 4 inner fetches", misses, hits)
+	}
+	c.Reset()
+	if ev := c.Evictions(); ev != 0 {
+		t.Errorf("Reset must clear evictions, got %d", ev)
+	}
+}
+
+func TestCachedUnboundedNeverEvicts(t *testing.T) {
+	c := NewCached(bookTable(t))
+	for _, id := range []string{"i1", "i2", "i3"} {
+		if _, err := c.Call("ioo", []string{id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev := c.Evictions(); ev != 0 {
+		t.Errorf("unbounded cache evicted %d keys", ev)
+	}
+}

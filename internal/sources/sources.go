@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 )
@@ -259,8 +260,15 @@ func (t *Table) Rows() []Tuple {
 }
 
 // Catalog is a set of sources addressable by relation name.
+//
+// The catalog carries a generation counter for answer-level caches
+// (internal/qcache): Invalidate bumps it, and ResetStats bumps it too,
+// since callers reset stats exactly when they are about to re-measure —
+// typically after changing the underlying data or wrappers. Cached
+// answers keyed to an older generation are never reused.
 type Catalog struct {
 	byName map[string]Source
+	gen    atomic.Int64
 }
 
 // NewCatalog builds a catalog from sources; duplicate names are an error.
@@ -322,11 +330,21 @@ func (c *Catalog) TotalStats() Stats {
 	return total
 }
 
-// ResetStats zeroes the traffic of every metering source in the catalog.
+// ResetStats zeroes the traffic of every metering source in the catalog
+// and invalidates answer-level caches keyed to this catalog.
 func (c *Catalog) ResetStats() {
+	c.Invalidate()
 	for _, s := range c.byName {
 		if r, ok := s.(StatsReporter); ok {
 			r.ResetStats()
 		}
 	}
 }
+
+// Generation returns the catalog's invalidation generation.
+func (c *Catalog) Generation() int64 { return c.gen.Load() }
+
+// Invalidate bumps the catalog's generation: answers cached against an
+// earlier generation will not be reused. Call it after mutating the
+// data behind any of the catalog's sources.
+func (c *Catalog) Invalidate() { c.gen.Add(1) }

@@ -146,3 +146,18 @@ func TestOnCallHook(t *testing.T) {
 		t.Errorf("hook saw %v", seen)
 	}
 }
+
+func TestCatalogGeneration(t *testing.T) {
+	cat := MustCatalog(bookTable(t))
+	if g := cat.Generation(); g != 0 {
+		t.Fatalf("fresh catalog generation = %d, want 0", g)
+	}
+	cat.Invalidate()
+	if g := cat.Generation(); g != 1 {
+		t.Errorf("generation after Invalidate = %d, want 1", g)
+	}
+	cat.ResetStats()
+	if g := cat.Generation(); g != 2 {
+		t.Errorf("ResetStats must bump the generation, got %d", g)
+	}
+}

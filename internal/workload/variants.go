@@ -1,0 +1,63 @@
+package workload
+
+// Query variants for cache experiments: semantically identical rewrites
+// of a query that a textual cache misses but the canonical plan cache
+// must hit — α-renamings and redundant-literal padding.
+
+import (
+	"repro/internal/logic"
+)
+
+// AlphaRename returns u with every variable renamed injectively by
+// appending "_r<tag>" — a fresh α-variant of the same query. Constants
+// and the head predicate are untouched, so the result is isomorphic
+// (hence equivalent) to u and executable wherever u is.
+func AlphaRename(u logic.UCQ, tag string) logic.UCQ {
+	out := u.Clone()
+	for i := range out.Rules {
+		out.Rules[i] = renameCQ(out.Rules[i], "_r"+tag)
+	}
+	return out
+}
+
+func renameCQ(q logic.CQ, suffix string) logic.CQ {
+	rename := func(t logic.Term) logic.Term {
+		if t.IsVar() {
+			t.Name += suffix
+		}
+		return t
+	}
+	for i := range q.HeadArgs {
+		q.HeadArgs[i] = rename(q.HeadArgs[i])
+	}
+	for i := range q.Body {
+		for j := range q.Body[i].Atom.Args {
+			q.Body[i].Atom.Args[j] = rename(q.Body[i].Atom.Args[j])
+		}
+	}
+	return q
+}
+
+// PadRedundant returns u with the last positive literal of every rule
+// duplicated — a non-minimal but equivalent rewrite. The duplicate is
+// answerable exactly where the original is (same variables, already
+// bound when it repeats), so the padded query stays executable; query
+// minimization removes it, so the canonical plan cache still hits.
+// Rules with no positive literal are returned unchanged.
+func PadRedundant(u logic.UCQ) logic.UCQ {
+	out := u.Clone()
+	for i := range out.Rules {
+		r := &out.Rules[i]
+		if r.False {
+			continue
+		}
+		for j := len(r.Body) - 1; j >= 0; j-- {
+			if !r.Body[j].Negated {
+				dup := r.Body[j].Clone()
+				r.Body = append(r.Body, dup)
+				break
+			}
+		}
+	}
+	return out
+}
