@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke paperbench check
+.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke chaos-smoke paperbench check
 
 all: check
 
@@ -21,11 +21,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One pass over the runtime-heavy benchmarks (E19 dedup ablation and the
-# E20 streaming pipeline): runs each once, which also exercises their
-# built-in acceptance assertions.
+# One pass over the runtime-heavy benchmarks (E19 dedup ablation, the
+# E20 streaming pipeline, E21 degradation, E22 query cache, E23 hedged
+# requests): runs each once, which also exercises their built-in
+# acceptance assertions.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='E19|E20|E21|E22' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='E19|E20|E21|E22|E23' -benchtime=1x .
 
 # Fault-injection smoke: the paper examples' underestimates with one
 # source killed per run must degrade (partial answers + incompleteness
@@ -40,6 +41,14 @@ fault-smoke:
 # the cache is shared across concurrent Exec callers in production.
 cache-smoke:
 	$(GO) test -race -count=1 -run='TestCacheSmoke|TestCacheConcurrentExec|TestExecQueryCacheProfile' .
+
+# Chaos-schedule smoke: seeded randomized fault schedules (dropped and
+# hung calls, injected latency, breakers, replica kills) over every
+# paper example, plus the replica/hedging facade suite; answers must
+# stay sound underestimates with no crashes, hangs, or goroutine leaks.
+# Under -race because hedged legs race across replicas by design.
+chaos-smoke:
+	$(GO) test -race -count=1 -run='TestChaosSmoke|TestExecReplicas|TestHedge' . ./internal/engine/
 
 paperbench:
 	$(GO) run ./cmd/paperbench -quick

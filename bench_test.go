@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lichang"
 	"repro/internal/logic"
+	"repro/internal/sources"
 	"repro/internal/workload"
 )
 
@@ -1045,6 +1047,176 @@ func BenchmarkE22QueryCache(b *testing.B) {
 					opts = append(opts, WithQueryCache(qc))
 				}
 				res, err := Exec(context.Background(), r.q, r.ps, cats[r.ci], opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Rel(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// e23Slow delays every nth call of the wrapped source by extra (on top
+// of whatever latency the source itself has), honoring cancellation —
+// the intermittently slow replica of the E23 tail-latency experiment.
+type e23Slow struct {
+	Source
+	n     int
+	extra time.Duration
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *e23Slow) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]sources.Tuple, error) {
+	s.mu.Lock()
+	s.calls++
+	slow := s.calls%s.n == 0
+	s.mu.Unlock()
+	if slow {
+		t := time.NewTimer(s.extra)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return sources.CallWithContext(ctx, s.Source, p, inputs)
+}
+
+// e23Catalog builds the E23 catalog: every relation fronted by a
+// three-replica set routed round-robin, each replica with a base
+// per-call delay; when slow is set, one replica of T stalls an extra
+// 150ms on every 13th of its calls.
+func e23Catalog(b *testing.B, in *Instance, ps *PatternSet, base time.Duration, slow bool) *Catalog {
+	b.Helper()
+	mk := func(slowT bool) *Catalog {
+		cat, err := DelayedCatalog(in.MustCatalog(ps), base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !slowT {
+			return cat
+		}
+		var srcs []Source
+		for _, name := range cat.Names() {
+			src := cat.Source(name)
+			if name == "T" {
+				src = &e23Slow{Source: src, n: 13, extra: 150 * time.Millisecond}
+			}
+			srcs = append(srcs, src)
+		}
+		cat, err = NewCatalog(srcs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cat
+	}
+	cat, _, err := ReplicaCatalog(ReplicaConfig{Policy: RoundRobin{}},
+		mk(false), mk(false), mk(slow))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+// e23Run executes n sequential requests and returns each request's
+// latency plus the run's launched-call and hedged-call totals.
+func e23Run(b *testing.B, q Query, ps *PatternSet, cat *Catalog, rt *Runtime, n int, want *Rel) (lat []time.Duration, calls, hedges int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		res, err := Exec(context.Background(), q, ps, cat, WithRuntime(rt), WithProfile())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := res.Rel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+		if !rel.Equal(want) {
+			b.Fatalf("request %d: answer %s, want %s", i, rel, want)
+		}
+		prof, _ := res.Profile()
+		calls += prof.TotalCalls()
+		hedges += prof.HedgedCalls()
+	}
+	return lat, calls, hedges
+}
+
+// E23: hedged requests against a replica set with one intermittently
+// slow replica of three. The acceptance properties are asserted up
+// front — the slow replica drives the unhedged p99 to ≥5× the healthy
+// baseline, hedging restores it to ≤2× the baseline, and the hedges
+// cost <5% extra calls — then per-mode subbenchmarks time one request.
+func BenchmarkE23Hedging(b *testing.B) {
+	q := MustParseQuery(`Q(y) :- R(x), S(x, z), T(z, y).`)
+	ps := MustParsePatterns(`R^o S^io T^io`)
+	in := NewInstance().
+		MustAdd("R", "x0").
+		MustAdd("S", "x0", "z0").
+		MustAdd("T", "z0", "y0")
+	const (
+		base     = 2 * time.Millisecond
+		requests = 200
+	)
+	plain := func() *Runtime {
+		rt := NewRuntime()
+		rt.Retry.BaseDelay = 0
+		return rt
+	}
+	hedging := func() *Runtime {
+		rt := plain()
+		rt.Hedge = HedgePolicy{Delay: 2 * base}
+		return rt
+	}
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	healthyLat, _, _ := e23Run(b, q, ps, e23Catalog(b, in, ps, base, false), plain(), requests, want)
+	unhedgedLat, _, _ := e23Run(b, q, ps, e23Catalog(b, in, ps, base, true), plain(), requests, want)
+	hedgedLat, hedgedCalls, hedges := e23Run(b, q, ps, e23Catalog(b, in, ps, base, true), hedging(), requests, want)
+
+	healthyP99, unhedgedP99, hedgedP99 := pctl(healthyLat, 0.99), pctl(unhedgedLat, 0.99), pctl(hedgedLat, 0.99)
+	b.Logf("p50: healthy=%s unhedged=%s hedged=%s",
+		pctl(healthyLat, 0.50), pctl(unhedgedLat, 0.50), pctl(hedgedLat, 0.50))
+	b.Logf("p99: healthy=%s unhedged=%s hedged=%s", healthyP99, unhedgedP99, hedgedP99)
+	b.Logf("hedged run: %d calls, %d hedges (%.2f%% extra)",
+		hedgedCalls, hedges, 100*float64(hedges)/float64(hedgedCalls-hedges))
+
+	if unhedgedP99 < 5*healthyP99 {
+		b.Fatalf("unhedged p99 %s < 5× healthy %s: the slow replica must dominate the tail", unhedgedP99, healthyP99)
+	}
+	if hedgedP99 > 2*healthyP99 {
+		b.Fatalf("hedged p99 %s > 2× healthy %s: hedging must restore the tail", hedgedP99, healthyP99)
+	}
+	if 20*hedges >= hedgedCalls-hedges {
+		b.Fatalf("%d hedges on %d primary calls: extra-call overhead must stay under 5%%", hedges, hedgedCalls-hedges)
+	}
+
+	modes := []struct {
+		name string
+		slow bool
+		rt   func() *Runtime
+	}{
+		{"healthy", false, plain},
+		{"slow-replica-unhedged", true, plain},
+		{"slow-replica-hedged", true, hedging},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cat := e23Catalog(b, in, ps, base, m.slow)
+			rt := m.rt()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Exec(context.Background(), q, ps, cat, WithRuntime(rt))
 				if err != nil {
 					b.Fatal(err)
 				}

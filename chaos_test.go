@@ -1,0 +1,153 @@
+package ucqn
+
+// Chaos-schedule smoke suite (`make chaos-smoke`): seeded randomized
+// fault schedules — dropped and hung calls, injected latency, circuit
+// breakers, replica kills — composed over every paper example. Whatever
+// the schedule does, the runtime must stay available: partial answers
+// are sound underestimates of the healthy answer (equal when the report
+// says complete), nothing crashes or hangs, and no goroutines leak.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// chaosSchedule is one seeded draw of per-source faults.
+type chaosSchedule struct {
+	rng *rand.Rand
+}
+
+// wrap applies the schedule's faults to one source: optionally a fault
+// injector (dropping or hanging calls), injected latency, a breaker,
+// or a 3-replica set with one replica killed or hung.
+func (cs *chaosSchedule) wrap(t testing.TB, src Source) Source {
+	t.Helper()
+	r := cs.rng
+	// Replicate first with probability 1/3: the kill then hits only one
+	// of three replicas.
+	if r.Intn(3) == 0 {
+		killed := NewFlakySource(src, FlakyConfig{FailEveryN: 1, Hang: r.Intn(3) == 0})
+		reps := []Source{src, src, Source(killed)}
+		// Shuffle so the dead replica is not always ranked last by index.
+		r.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
+		rs, err := NewReplicaSet(ReplicaConfig{
+			Breaker: BreakerConfig{Window: 4, Threshold: 2, Cooldown: 50 * time.Millisecond},
+		}, reps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	if r.Intn(2) == 0 { // transient blips, occasionally hung
+		src = NewFlakySource(src, FlakyConfig{
+			FailFirst:  r.Intn(2),
+			FailEveryN: 2 + r.Intn(4),
+			Hang:       r.Intn(4) == 0,
+		})
+	}
+	if r.Intn(3) == 0 { // injected latency
+		src = NewDelayedSource(src, time.Duration(1+r.Intn(3))*time.Millisecond)
+	}
+	if r.Intn(3) == 0 { // a breaker that can quarantine the source
+		src = NewBreaker(src, BreakerConfig{Window: 4, Threshold: 3, Cooldown: 20 * time.Millisecond})
+	}
+	return src
+}
+
+// chaosCatalog builds a catalog over the instance with every source
+// wrapped per the schedule.
+func chaosCatalog(t testing.TB, in *Instance, ps *PatternSet, cs *chaosSchedule) *Catalog {
+	t.Helper()
+	base := in.MustCatalog(ps)
+	var srcs []Source
+	for _, name := range base.Names() {
+		srcs = append(srcs, cs.wrap(t, base.Source(name)))
+	}
+	cat, err := NewCatalog(srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// rowSet indexes a relation's rows by key.
+func rowSet(rel *Rel) map[string]bool {
+	out := make(map[string]bool, rel.Len())
+	for _, row := range rel.Rows() {
+		out[row.Key()] = true
+	}
+	return out
+}
+
+func TestChaosSmokePaperExamples(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, ex := range workload.PaperExamples() {
+		t.Run(ex.Name, func(t *testing.T) {
+			under := Plan(ex.Query, ex.Patterns).Under
+			want := healthyAnswer(t, under, ex.Patterns)
+			wantRows := rowSet(want)
+
+			for seed := int64(1); seed <= 4; seed++ {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					cs := &chaosSchedule{rng: rand.New(rand.NewSource(seed))}
+					cat := chaosCatalog(t, paperInstance(ex.Patterns), ex.Patterns, cs)
+
+					// Hung calls are bounded by the per-call deadline, so no
+					// schedule can stall the suite.
+					rt := NewRuntime()
+					rt.Retry = RetryPolicy{MaxAttempts: 3}
+					rt.CallTimeout = 25 * time.Millisecond
+					opts := []ExecOption{
+						WithRuntime(rt),
+						WithPartialResults(),
+						WithHedging(HedgePolicy{Delay: 5 * time.Millisecond}),
+					}
+					if seed%2 == 0 {
+						opts = append(opts, WithStreaming())
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					res, err := Exec(ctx, under, ex.Patterns, cat, opts...)
+					if err != nil {
+						t.Fatalf("chaos run crashed: %v", err)
+					}
+					rel, err := res.Rel()
+					if err != nil {
+						t.Fatalf("chaos run failed to drain: %v", err)
+					}
+					// Soundness: every returned tuple is a certain answer.
+					for _, row := range rel.Rows() {
+						if !wantRows[row.Key()] {
+							t.Fatalf("unsound row %s not in the healthy answer %s", row, want)
+						}
+					}
+					inc, ok := res.Incompleteness()
+					if !ok {
+						t.Fatal("no incompleteness report")
+					}
+					if inc.Complete() && !rel.Equal(want) {
+						t.Errorf("report says complete but answer %s != healthy %s", rel, want)
+					}
+				})
+			}
+		})
+	}
+	// No schedule may leak goroutines: give in-flight losers a moment to
+	// observe their cancellation, then compare against the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Errorf("goroutines leaked: %d before, %d after", before, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,5 +1,5 @@
 // Command paperbench regenerates every experiment of DESIGN.md
-// (E1–E22): the reproduction of the algorithms, worked examples, and
+// (E1–E23): the reproduction of the algorithms, worked examples, and
 // complexity claims of Nash & Ludäscher (EDBT 2004). Each experiment
 // prints one table; EXPERIMENTS.md records the expected shapes.
 //
@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	ucqn "repro"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lichang"
 	"repro/internal/logic"
+	"repro/internal/sources"
 	"repro/internal/workload"
 )
 
@@ -61,6 +63,7 @@ func main() {
 		{"E20", "streaming pipeline: time-to-first-tuple vs materialized", e20},
 		{"E21", "graceful degradation: breaker savings and underestimate size", e21},
 		{"E22", "semantic query cache: Zipf repeated workload", e22},
+		{"E23", "hedged requests: tail latency with a slow replica", e23},
 	}
 	found := false
 	for _, e := range experiments {
@@ -1215,4 +1218,146 @@ func e22() {
 			pctl(lat, 0.50).Round(time.Microsecond), pctl(lat, 0.99).Round(time.Microsecond))
 	}
 	fmt.Println("expected: one plan build per equivalence class (variants collapse); the full cache cuts source calls ≥5× and p50 by orders of magnitude; plan-only already beats off (minimal representative plans)")
+}
+
+// --- E23 ----------------------------------------------------------------
+
+// slowEveryNth delays every nth call of the wrapped source by extra,
+// honoring cancellation — the intermittently slow replica of E23.
+type slowEveryNth struct {
+	ucqn.Source
+	n     int
+	extra time.Duration
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *slowEveryNth) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]sources.Tuple, error) {
+	s.mu.Lock()
+	s.calls++
+	slow := s.calls%s.n == 0
+	s.mu.Unlock()
+	if slow {
+		t := time.NewTimer(s.extra)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return sources.CallWithContext(ctx, s.Source, p, inputs)
+}
+
+func e23() {
+	// Hedged requests over a three-replica source with one replica
+	// intermittently slow (every 13th of its calls stalls 150ms).
+	// Without hedging the slow replica owns the p99; with hedging the
+	// backup attempt races past it for <5% extra calls.
+	q := ucqn.MustParseQuery(`Q(y) :- R(x), S(x, z), T(z, y).`)
+	ps := ucqn.MustParsePatterns(`R^o S^io T^io`)
+	in := ucqn.NewInstance().
+		MustAdd("R", "x0").
+		MustAdd("S", "x0", "z0").
+		MustAdd("T", "z0", "y0")
+	base := 2 * time.Millisecond
+	// Every 13th slow call of one replica puts ~2.6% of requests in the
+	// tail: enough to own the p99, cheap enough that hedging stays under
+	// the 5% extra-call bar. The quick run has too few requests for a
+	// single slow event to sit at its p99 index, so it slows more often.
+	requests, nth := 200, 13
+	if *quick {
+		requests, nth = 60, 7
+	}
+
+	catalog := func(slow bool) *ucqn.Catalog {
+		mk := func(slowT bool) *ucqn.Catalog {
+			cat, err := ucqn.DelayedCatalog(mustCatalog(in, ps), base)
+			if err != nil {
+				panic(err)
+			}
+			if !slowT {
+				return cat
+			}
+			var srcs []ucqn.Source
+			for _, name := range cat.Names() {
+				src := cat.Source(name)
+				if name == "T" {
+					src = &slowEveryNth{Source: src, n: nth, extra: 150 * time.Millisecond}
+				}
+				srcs = append(srcs, src)
+			}
+			cat, err = ucqn.NewCatalog(srcs...)
+			if err != nil {
+				panic(err)
+			}
+			return cat
+		}
+		cat, _, err := ucqn.ReplicaCatalog(ucqn.ReplicaConfig{Policy: ucqn.RoundRobin{}},
+			mk(false), mk(false), mk(slow))
+		if err != nil {
+			panic(err)
+		}
+		return cat
+	}
+	pctl := func(lat []time.Duration, p float64) time.Duration {
+		s := append([]time.Duration(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[int(p*float64(len(s)-1))]
+	}
+
+	fmt.Printf("replicas=3 base latency=%s slow replica: +150ms every %dth call requests=%d\n", base, nth, requests)
+	fmt.Printf("%-22s %12s %12s %10s %8s %6s %12s\n", "mode", "p50", "p99", "src-calls", "hedges", "wins", "mean-latency")
+	for _, mode := range []struct {
+		name  string
+		slow  bool
+		hedge bool
+	}{
+		{"healthy", false, false},
+		{"slow-replica", true, false},
+		{"slow-replica+hedging", true, true},
+	} {
+		cat := catalog(mode.slow)
+		rt := ucqn.NewRuntime()
+		rt.Retry.BaseDelay = 0
+		var opts []ucqn.ExecOption
+		opts = append(opts, ucqn.WithRuntime(rt), ucqn.WithProfile())
+		if mode.hedge {
+			opts = append(opts, ucqn.WithHedging(ucqn.HedgePolicy{Delay: 2 * base}))
+		}
+		var lat []time.Duration
+		calls, hedges, wins := 0, 0, 0
+		for i := 0; i < requests; i++ {
+			start := time.Now()
+			res, err := ucqn.Exec(context.Background(), q, ps, cat, opts...)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := res.Rel(); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(start))
+			prof, _ := res.Profile()
+			calls += prof.TotalCalls()
+			hedges += prof.HedgedCalls()
+			wins += prof.HedgeWins()
+		}
+		// Per-source latency metering (satellite of the replica runtime):
+		// the catalog's aggregated stats now carry observed call latency.
+		st := cat.TotalStats()
+		fmt.Printf("%-22s %12s %12s %10d %8d %6d %12s\n", mode.name,
+			pctl(lat, 0.50).Round(time.Microsecond), pctl(lat, 0.99).Round(time.Microsecond),
+			calls, hedges, wins, st.MeanLatency().Round(time.Microsecond))
+	}
+	fmt.Println("expected: the slow replica drives the unhedged p99 to ≥5× healthy; hedging restores p99 to ≤2× healthy for <5% extra calls; mean source latency stays near the base round trip")
+}
+
+// mustCatalog builds a catalog or panics (paperbench helper).
+func mustCatalog(in *ucqn.Instance, ps *ucqn.PatternSet) *ucqn.Catalog {
+	cat, err := in.Catalog(ps)
+	if err != nil {
+		panic(err)
+	}
+	return cat
 }

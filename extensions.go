@@ -339,3 +339,79 @@ const (
 
 // ClassifyFailure maps a rule-evaluation error to its failure class.
 func ClassifyFailure(err error) FailureClass { return engine.ClassifyFailure(err) }
+
+// FailReplicas is the failure class of a rule dropped because every
+// replica of a replicated source failed (see ErrReplicasExhausted).
+const FailReplicas = engine.FailReplicas
+
+// ReplicaSet fronts N replicas of one relation behind the single-source
+// interface: calls route to the healthiest replica (EWMA latency,
+// sliding-window failure rate), fail over on error, and quarantine
+// persistently failing replicas behind per-replica circuit breakers.
+// Build one with NewReplicaSet, or replicate a whole catalog with
+// ReplicaCatalog.
+type ReplicaSet = sources.ReplicaSet
+
+// ReplicaConfig tunes a ReplicaSet: per-replica breaker settings, the
+// routing policy, and the health-tracking window.
+type ReplicaConfig = sources.ReplicaConfig
+
+// ReplicaStats is one replica's health and traffic breakdown.
+type ReplicaStats = sources.ReplicaStats
+
+// ReplicaHealth is the health snapshot a RoutingPolicy ranks by.
+type ReplicaHealth = sources.ReplicaHealth
+
+// RoutingPolicy orders a ReplicaSet's replicas for each call.
+type RoutingPolicy = sources.RoutingPolicy
+
+// HealthiestFirst routes to the replica with the best latency/failure
+// score, rotating among statistically indistinguishable ones. It is the
+// default policy.
+type HealthiestFirst = sources.HealthiestFirst
+
+// RoundRobin rotates through healthy replicas in declaration order.
+type RoundRobin = sources.RoundRobin
+
+// ReplicasError reports that every replica of a set failed; it unwraps
+// to the member failures and matches ErrReplicasExhausted.
+type ReplicasError = sources.ReplicasError
+
+// ErrReplicasExhausted is matched (errors.Is) by failures where every
+// replica of a replicated source failed. A rule backed by replicas
+// degrades only on this condition.
+var ErrReplicasExhausted = sources.ErrReplicasExhausted
+
+// NewReplicaSet fronts the given replicas of one relation. All replicas
+// must agree on name, arity, and patterns.
+func NewReplicaSet(cfg ReplicaConfig, replicas ...Source) (*ReplicaSet, error) {
+	return sources.NewReplicaSet(cfg, replicas...)
+}
+
+// ReplicaCatalog zips same-schema catalogs into one catalog of replica
+// sets: source i of the result fronts source i of every input catalog.
+// The returned replica sets are indexed like cat.Names().
+func ReplicaCatalog(cfg ReplicaConfig, cats ...*Catalog) (*Catalog, []*ReplicaSet, error) {
+	return sources.ReplicaCatalog(cfg, cats...)
+}
+
+// HedgePolicy configures hedged requests on a Runtime (or via
+// WithHedging): after a delay — fixed, or derived from the replica
+// set's observed latency quantile — a backup attempt launches on the
+// next-healthiest replica; the first success wins and the loser is
+// cancelled. The zero value disables hedging.
+type HedgePolicy = engine.HedgePolicy
+
+// ReplicaSetProfile is the per-replica breakdown of one replicated
+// source in an ExecProfile.
+type ReplicaSetProfile = engine.ReplicaSetProfile
+
+// VirtualClock is a manually advanced clock for deterministic tests of
+// time-dependent wrappers (DelayedSource, Breaker, ReplicaSet): inject
+// its Now/Sleep methods and call Advance to move time.
+type VirtualClock = sources.VirtualClock
+
+// NewVirtualClock returns a virtual clock reading start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return sources.NewVirtualClock(start)
+}

@@ -82,6 +82,9 @@ func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *s
 	if rt.Budget.active() {
 		prof.BudgetSpent = int(budget.spent.Load())
 	}
+	if o.Profile {
+		prof.snapshotReplicas(cat)
+	}
 	return out, prof, inc, nil
 }
 

@@ -28,6 +28,11 @@ import (
 type FailureClass string
 
 const (
+	// FailReplicas: every replica of a replicated source failed — the
+	// whole replica set is exhausted (sources.ErrReplicasExhausted). A
+	// rule backed by replicas degrades only on this class; any single
+	// surviving replica keeps it complete.
+	FailReplicas FailureClass = "replicas-exhausted"
 	// FailBreaker: a circuit breaker was open — the source is known dead
 	// and the call failed fast (sources.ErrBreakerOpen).
 	FailBreaker FailureClass = "breaker-open"
@@ -44,9 +49,14 @@ const (
 
 // ClassifyFailure maps a rule-evaluation error to its failure class.
 // Errors joined from several calls classify by the most specific member
-// (breaker, then budget, then transient).
+// (replica exhaustion, then breaker, then budget, then transient).
+// Replica exhaustion is checked first: a ReplicasError unwraps to its
+// member failures, so a set that died of quarantined replicas would
+// otherwise classify as a single breaker failure.
 func ClassifyFailure(err error) FailureClass {
 	switch {
+	case errors.Is(err, sources.ErrReplicasExhausted):
+		return FailReplicas
 	case errors.Is(err, sources.ErrBreakerOpen):
 		return FailBreaker
 	case errors.Is(err, ErrCallBudget):
@@ -70,6 +80,9 @@ type RuleFailure struct {
 	Source string
 	// Step renders the failing adorned step, when attributable.
 	Step string
+	// Replicas lists the replica labels of the exhausted replica set,
+	// when the failure is a replica exhaustion (nil otherwise).
+	Replicas []string
 	// Class is the failure classification.
 	Class FailureClass
 	// Err is the underlying error.
@@ -158,6 +171,13 @@ func (inc *Incompleteness) record(i int, rule logic.CQ, err error) {
 	if errors.As(err, &ce) {
 		f.Source = ce.Source
 		f.Step = fmt.Sprintf("%s^%s", ce.Source, ce.Pattern)
+	}
+	var re *sources.ReplicasError
+	if errors.As(err, &re) {
+		if f.Source == "" {
+			f.Source = re.Source
+		}
+		f.Replicas = append([]string(nil), re.Tried...)
 	}
 	inc.Failed = append(inc.Failed, f)
 }

@@ -28,9 +28,16 @@ type StepProfile struct {
 	// their (pattern, inputs) key was already being fetched this step,
 	// so no extra source call was issued.
 	DedupedCalls int
-	// Retries counts attempts beyond the first per call (transient
-	// failures that the retry policy absorbed).
+	// Retries counts retry rounds beyond the first per call (transient
+	// failures that the retry policy absorbed). A hedged race across
+	// replicas is one round however many legs it launched.
 	Retries int
+	// HedgedCalls counts backup attempts the hedge timer launched
+	// against replicated sources; each is also included in Calls.
+	HedgedCalls int
+	// HedgeWins counts calls whose winning rows came from a hedged
+	// backup attempt rather than the primary.
+	HedgeWins int
 	// MaxInFlight is the peak number of concurrent calls the step had
 	// outstanding against the source.
 	MaxInFlight int
@@ -47,6 +54,9 @@ func (sp StepProfile) String() string {
 		sp.Step.String(), sp.Calls, sp.DedupedCalls, sp.TuplesReturned, sp.BindingsIn, sp.BindingsOut)
 	if sp.Retries > 0 {
 		s += fmt.Sprintf(" retries=%d", sp.Retries)
+	}
+	if sp.HedgedCalls > 0 {
+		s += fmt.Sprintf(" hedged=%d(won %d)", sp.HedgedCalls, sp.HedgeWins)
 	}
 	if sp.MaxInFlight > 1 {
 		s += fmt.Sprintf(" inflight≤%d", sp.MaxInFlight)
@@ -100,6 +110,43 @@ type Profile struct {
 	// CacheEvictions counts query-cache entries (plans or answers)
 	// evicted while serving this execution.
 	CacheEvictions int
+
+	// Replicas is the per-replica health and traffic breakdown of every
+	// replica-set source in the catalog, snapshotted when the execution
+	// finished (profiled runs only; counters are cumulative across the
+	// catalog's lifetime, not per-execution).
+	Replicas []ReplicaSetProfile
+}
+
+// ReplicaSetProfile is the per-replica breakdown of one replicated
+// source.
+type ReplicaSetProfile struct {
+	// Source is the relation name the replica set fronts.
+	Source string
+	// Replicas holds each replica's health and traffic, in declaration
+	// order.
+	Replicas []sources.ReplicaStats
+}
+
+// String renders one replica-set line.
+func (rp ReplicaSetProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", rp.Source)
+	for _, r := range rp.Replicas {
+		fmt.Fprintf(&b, " %s[%s calls=%d fail=%d ewma=%s]",
+			r.Replica, r.State, r.Calls, r.Failures, r.EWMALatency.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// snapshotReplicas fills p.Replicas with the current per-replica
+// breakdown of every replica-set source in the catalog.
+func (p *Profile) snapshotReplicas(cat *sources.Catalog) {
+	for _, name := range cat.Names() {
+		if rs, ok := cat.Source(name).(*sources.ReplicaSet); ok {
+			p.Replicas = append(p.Replicas, ReplicaSetProfile{Source: name, Replicas: rs.ReplicaStats()})
+		}
+	}
 }
 
 // TotalCalls sums source calls across all rules.
@@ -141,6 +188,29 @@ func (p Profile) TotalRetries() int {
 	for _, r := range p.Rules {
 		for _, s := range r.Steps {
 			n += s.Retries
+		}
+	}
+	return n
+}
+
+// HedgedCalls sums the timer-launched backup attempts across all rules.
+func (p Profile) HedgedCalls() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.HedgedCalls
+		}
+	}
+	return n
+}
+
+// HedgeWins sums the calls won by a hedged backup attempt across all
+// rules.
+func (p Profile) HedgeWins() int {
+	n := 0
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			n += s.HedgeWins
 		}
 	}
 	return n
@@ -200,6 +270,12 @@ func (p Profile) String() string {
 	if p.PlanCacheHits > 0 || p.AnswerCacheHits > 0 || p.PartialReuseRules > 0 || p.CacheEvictions > 0 {
 		fmt.Fprintf(&b, "cache: plan hits=%d answer hits=%d reused rules=%d evictions=%d\n",
 			p.PlanCacheHits, p.AnswerCacheHits, p.PartialReuseRules, p.CacheEvictions)
+	}
+	if h := p.HedgedCalls(); h > 0 {
+		fmt.Fprintf(&b, "hedged: %d backup call(s), %d won\n", h, p.HedgeWins())
+	}
+	for _, rp := range p.Replicas {
+		fmt.Fprintf(&b, "replicas %s\n", rp)
 	}
 	if p.Elapsed > 0 {
 		fmt.Fprintf(&b, "total %s\n", p.Elapsed.Round(time.Microsecond))

@@ -157,9 +157,32 @@ type Runtime struct {
 	// Budget caps the source traffic of one execution (one Eval, Stream,
 	// or facade Exec). The zero value means unlimited.
 	Budget Budget
+	// Hedge enables hedged requests against replicated sources: after
+	// the configured delay a backup attempt is launched on the
+	// next-healthiest replica, and the first success wins (see
+	// HedgePolicy). Sources that are not replica sets are unaffected.
+	// The zero value disables hedging.
+	Hedge HedgePolicy
 
 	mu   sync.Mutex
 	sems map[string]chan struct{}
+}
+
+// Clone returns a runtime with the same configuration and fresh
+// internal limiter state. The facade uses it to derive a per-execution
+// variant (e.g. enabling hedging) without mutating a shared runtime.
+func (rt *Runtime) Clone() *Runtime {
+	return &Runtime{
+		Concurrency: rt.Concurrency,
+		PerSource:   rt.PerSource,
+		Dedup:       rt.Dedup,
+		Retry:       rt.Retry,
+		BatchSize:   rt.BatchSize,
+		StageBuffer: rt.StageBuffer,
+		CallTimeout: rt.CallTimeout,
+		Budget:      rt.Budget,
+		Hedge:       rt.Hedge,
+	}
 }
 
 // Budget is a per-query source-call budget: how much traffic one
@@ -322,49 +345,102 @@ func (g *inFlightGauge) enter() { g.add(1) }
 
 func (g *inFlightGauge) leave() { g.cur.Add(-1) }
 
+// callStats counts the work behind one logical source call: attempts is
+// every launched leg — each charged to the budget and traffic stats
+// exactly once — rounds the retry rounds (a hedged race over several
+// replicas is one round), hedges the timer-launched backup legs, and
+// hedgeWins whether a backup leg produced the winning rows.
+type callStats struct {
+	attempts  int
+	rounds    int
+	hedges    int
+	hedgeWins int
+}
+
+// runLeg runs one call attempt end to end: per-source slot, per-call
+// deadline, in-flight gauge, and deadline-to-transient conversion.
+// launched reports whether the call was actually issued (false when the
+// per-source slot acquisition was abandoned to the context).
+func (rt *Runtime) runLeg(ctx context.Context, sem chan struct{}, gauge *inFlightGauge, name string, p access.Pattern, inputs []string, call func(context.Context) ([]sources.Tuple, error)) (rows []sources.Tuple, launched bool, err error) {
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		defer func() { <-sem }()
+	}
+	cctx, cancel := ctx, context.CancelFunc(nil)
+	if rt.CallTimeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, rt.CallTimeout)
+	}
+	gauge.enter()
+	rows, err = call(cctx)
+	gauge.leave()
+	if cancel != nil {
+		cancel()
+		// The attempt's own deadline expiring is a source failure
+		// (slow or hung service), not a caller cancellation: report
+		// it as a retryable timeout so the policy and any circuit
+		// breaker see it. The caller's context staying alive is what
+		// distinguishes the two.
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = sources.Transient(fmt.Errorf("engine: %s^%s(%s): call timed out after %v",
+				name, p, strings.Join(inputs, ","), rt.CallTimeout))
+		}
+	}
+	return rows, true, err
+}
+
 // callWithRetry issues one source call under the per-source limit and
 // the per-execution budget, retrying per the policy with each attempt
-// bounded by the per-call deadline. It returns the rows and the number
-// of attempts actually made (0 when cancelled or cut off before the
-// first attempt).
-func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name string, p access.Pattern, inputs []string, gauge *inFlightGauge, budget *budgetState) (rows []sources.Tuple, attempts int, err error) {
+// bounded by the per-call deadline. Against a replicated source with
+// hedging configured, each retry round runs as a hedged race across
+// replicas instead of a single attempt. It returns the rows and the
+// call's accounting (zero attempts when cancelled or cut off before the
+// first).
+func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name string, p access.Pattern, inputs []string, gauge *inFlightGauge, budget *budgetState) (rows []sources.Tuple, cs callStats, err error) {
 	sem := rt.sourceSem(name)
 	max := rt.Retry.attempts()
+	rsrc, hedged := rt.hedgeTarget(src)
 	for attempt := 1; ; attempt++ {
-		if err := budget.charge(); err != nil {
-			return nil, attempt - 1, err
-		}
-		if sem != nil {
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return nil, attempt - 1, ctx.Err()
+		if hedged {
+			// The whole round holds ONE per-source slot: its legs are
+			// replicas of one logical call, and per-leg slots can
+			// deadlock — hung primaries holding every slot while the
+			// backups that would cancel them wait for one.
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					return nil, cs, ctx.Err()
+				}
 			}
-		}
-		cctx, cancel := ctx, context.CancelFunc(nil)
-		if rt.CallTimeout > 0 {
-			cctx, cancel = context.WithTimeout(ctx, rt.CallTimeout)
-		}
-		gauge.enter()
-		rows, err = sources.CallWithContext(cctx, src, p, inputs)
-		gauge.leave()
-		if cancel != nil {
-			cancel()
-			// The attempt's own deadline expiring is a source failure
-			// (slow or hung service), not a caller cancellation: report
-			// it as a retryable timeout so the policy and any circuit
-			// breaker see it. The caller's context staying alive is what
-			// distinguishes the two.
-			if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-				err = sources.Transient(fmt.Errorf("engine: %s^%s(%s): call timed out after %v",
-					name, p, strings.Join(inputs, ","), rt.CallTimeout))
+			before := cs.attempts
+			rows, err = rt.hedgedRound(ctx, rsrc, name, p, inputs, gauge, budget, &cs)
+			if sem != nil {
+				<-sem
 			}
-		}
-		if sem != nil {
-			<-sem
+			if cs.attempts == before {
+				return nil, cs, err // cut off before any leg launched
+			}
+			cs.rounds++
+		} else {
+			if err := budget.charge(); err != nil {
+				return nil, cs, err
+			}
+			var launched bool
+			rows, launched, err = rt.runLeg(ctx, sem, gauge, name, p, inputs, func(c context.Context) ([]sources.Tuple, error) {
+				return sources.CallWithContext(c, src, p, inputs)
+			})
+			if !launched {
+				return nil, cs, err
+			}
+			cs.attempts++
+			cs.rounds++
 		}
 		if err == nil || attempt >= max || !rt.Retry.isRetryable(err) || ctx.Err() != nil {
-			return rows, attempt, err
+			return rows, cs, err
 		}
 		if d := rt.Retry.backoff(attempt); d > 0 {
 			timer := time.NewTimer(d)
@@ -372,7 +448,7 @@ func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name s
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				return nil, attempt, ctx.Err()
+				return nil, cs, ctx.Err()
 			}
 		}
 	}
@@ -381,10 +457,10 @@ func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name s
 // stepCall is one distinct (pattern, inputs) call of a step, shared by
 // every binding whose input slots produced it.
 type stepCall struct {
-	inputs   []string
-	rows     []sources.Tuple
-	attempts int
-	err      error
+	inputs []string
+	rows   []sources.Tuple
+	stats  callStats
+	err    error
 }
 
 // callError attributes a failed step call to the source it targeted, so
@@ -490,7 +566,7 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 	var gauge inFlightGauge
 	if workers := rt.workers(len(calls)); workers <= 1 {
 		for _, c := range calls {
-			c.rows, c.attempts, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge, budget)
+			c.rows, c.stats, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge, budget)
 			if c.err != nil {
 				break // abort like the sequential loop; later calls stay unissued
 			}
@@ -514,7 +590,7 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 								c.err = fmt.Errorf("engine: source %s panicked: %v", name, r)
 							}
 						}()
-						c.rows, c.attempts, c.err = rt.callWithRetry(cctx, src, name, step.Pattern, c.inputs, &gauge, budget)
+						c.rows, c.stats, c.err = rt.callWithRetry(cctx, src, name, step.Pattern, c.inputs, &gauge, budget)
 					}()
 					if c.err != nil {
 						cancel() // fail fast: stop issuing, wake sleepers
@@ -532,10 +608,12 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 	var errs []error
 	var cancelled error
 	for _, c := range calls {
-		sp.Calls += c.attempts
-		if c.attempts > 1 {
-			sp.Retries += c.attempts - 1
+		sp.Calls += c.stats.attempts
+		if c.stats.rounds > 1 {
+			sp.Retries += c.stats.rounds - 1
 		}
+		sp.HedgedCalls += c.stats.hedges
+		sp.HedgeWins += c.stats.hedgeWins
 		sp.TuplesReturned += len(c.rows)
 		if c.err == nil {
 			continue

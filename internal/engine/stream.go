@@ -318,6 +318,7 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 		if rt.Budget.active() {
 			s.prof.BudgetSpent = int(budget.spent.Load())
 		}
+		s.prof.snapshotReplicas(cat)
 		s.mu.Unlock()
 	}()
 	return s, nil

@@ -1,0 +1,115 @@
+package sources
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// sleepContext is the real-clock sleep used by latency wrappers when no
+// Sleep hook is injected: it waits out d, abandoning the wait when the
+// context ends first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// VirtualClock is a manually stepped clock for tests. Now returns the
+// current virtual time and Sleep parks the caller until Advance moves
+// the clock past its wake-up deadline (or the context is cancelled), so
+// latency and hedging tests step simulated time instead of sleeping for
+// real. Plug its methods into the Now/Sleep hooks of Delayed, Breaker,
+// or ReplicaConfig. It is safe for concurrent use.
+type VirtualClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	sleepers map[int]*vcSleeper
+	nextID   int
+}
+
+type vcSleeper struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start, sleepers: map[int]*vcSleeper{}}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep parks the caller until the virtual clock advances past d from
+// now, or ctx ends. A non-positive d returns immediately.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	s := &vcSleeper{deadline: c.now.Add(d), ch: make(chan struct{})}
+	c.sleepers[id] = s
+	c.mu.Unlock()
+	select {
+	case <-s.ch:
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.sleepers, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Advance moves the clock forward by d, waking every sleeper whose
+// deadline has been reached.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	for id, s := range c.sleepers {
+		if !s.deadline.After(c.now) {
+			close(s.ch)
+			delete(c.sleepers, id)
+		}
+	}
+}
+
+// Sleepers returns how many goroutines are currently parked in Sleep.
+func (c *VirtualClock) Sleepers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sleepers)
+}
+
+// AwaitSleepers waits (in real time) until at least n goroutines are
+// parked in Sleep, reporting whether that happened before the timeout.
+// Tests call it to make sure a concurrent call has reached its sleep
+// before Advance releases it.
+func (c *VirtualClock) AwaitSleepers(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Sleepers() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

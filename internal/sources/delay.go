@@ -2,6 +2,8 @@ package sources
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/access"
@@ -17,6 +19,16 @@ import (
 type Delayed struct {
 	inner Source
 	d     time.Duration
+
+	// Now and Sleep inject the clock, mirroring Breaker's Now hook: nil
+	// means the real time.Now and a timer-backed sleep that honors the
+	// context. Tests plug in a VirtualClock to step latency without
+	// real sleeping. Set them before first use.
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	lat Stats // latency observations overlaid on the inner snapshot
 }
 
 // NewDelayed wraps src so every call takes at least d before the inner
@@ -34,6 +46,20 @@ func (s *Delayed) Arity() int { return s.inner.Arity() }
 // Patterns implements Source.
 func (s *Delayed) Patterns() []access.Pattern { return s.inner.Patterns() }
 
+func (s *Delayed) clockNow() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+func (s *Delayed) sleep(ctx context.Context, d time.Duration) error {
+	if s.Sleep != nil {
+		return s.Sleep(ctx, d)
+	}
+	return sleepContext(ctx, d)
+}
+
 // Call implements Source.
 func (s *Delayed) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 	return s.CallContext(context.Background(), p, inputs)
@@ -41,35 +67,55 @@ func (s *Delayed) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 
 // CallContext implements ContextSource: it sleeps for the configured
 // latency (abandoning the call if the context is cancelled first), then
-// forwards to the inner source.
+// forwards to the inner source. Completed calls — successful or failed —
+// are metered into the latency aggregates; calls abandoned to the
+// caller's context are not.
 func (s *Delayed) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
+	start := s.clockNow()
 	if s.d > 0 {
-		timer := time.NewTimer(s.d)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
+		if err := s.sleep(ctx, s.d); err != nil {
+			return nil, err
 		}
 	}
-	return CallWithContext(ctx, s.inner, p, inputs)
+	rows, err := CallWithContext(ctx, s.inner, p, inputs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		el := s.clockNow().Sub(start)
+		s.mu.Lock()
+		s.lat.Observe(el)
+		s.mu.Unlock()
+	}
+	return rows, err
 }
 
 // StatsSnapshot implements StatsReporter by forwarding to the wrapped
-// source, so metered traffic is unaffected by the added latency.
+// source — metered traffic is unaffected by the added latency — and
+// overlaying the end-to-end latency observed here (delay included),
+// which is what the caller actually experiences.
 func (s *Delayed) StatsSnapshot() Stats {
+	var st Stats
 	if r, ok := s.inner.(StatsReporter); ok {
-		return r.StatsSnapshot()
+		st = r.StatsSnapshot()
 	}
-	return Stats{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lat.LatencyCalls > 0 {
+		st.LatencyCalls = s.lat.LatencyCalls
+		st.TotalLatency = s.lat.TotalLatency
+		st.MaxLatency = s.lat.MaxLatency
+		st.EWMALatency = s.lat.EWMALatency
+	}
+	return st
 }
 
 // ResetStats implements StatsReporter by forwarding to the wrapped
-// source.
+// source and clearing the local latency aggregates.
 func (s *Delayed) ResetStats() {
 	if r, ok := s.inner.(StatsReporter); ok {
 		r.ResetStats()
 	}
+	s.mu.Lock()
+	s.lat = Stats{}
+	s.mu.Unlock()
 }
 
 // DelayedCatalog wraps every source of the catalog with the same

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 )
@@ -46,16 +47,70 @@ type Source interface {
 	Call(p access.Pattern, inputs []string) ([]Tuple, error)
 }
 
-// Stats is a source's traffic accounting.
+// Stats is a source's traffic accounting. Besides call and tuple
+// counts it carries per-call latency aggregates: sources that meter
+// latency (Table, Delayed) fold each observed call duration in via
+// Observe, and the replica router uses the EWMA to rank replicas.
 type Stats struct {
 	Calls          int // number of Call invocations
 	TuplesReturned int // total tuples transferred
+
+	LatencyCalls int           // calls with a latency observation
+	TotalLatency time.Duration // sum of observed call latencies
+	MaxLatency   time.Duration // slowest observed call
+	EWMALatency  time.Duration // moving average (alpha DefaultEWMAAlpha)
 }
 
-// Add accumulates other into s.
+// DefaultEWMAAlpha is the smoothing factor of the latency moving
+// average kept by Stats.Observe and the replica health tracker.
+const DefaultEWMAAlpha = 0.2
+
+// Observe folds one call latency into the latency aggregates. The
+// caller is responsible for synchronization.
+func (s *Stats) Observe(d time.Duration) {
+	s.LatencyCalls++
+	s.TotalLatency += d
+	if d > s.MaxLatency {
+		s.MaxLatency = d
+	}
+	if s.LatencyCalls == 1 {
+		s.EWMALatency = d
+		return
+	}
+	s.EWMALatency = ewma(s.EWMALatency, d, DefaultEWMAAlpha)
+}
+
+// ewma advances a moving average by one sample.
+func ewma(prev, sample time.Duration, alpha float64) time.Duration {
+	return time.Duration(float64(prev) + alpha*(float64(sample)-float64(prev)))
+}
+
+// MeanLatency returns the average observed call latency (zero when no
+// call was metered).
+func (s Stats) MeanLatency() time.Duration {
+	if s.LatencyCalls == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.LatencyCalls)
+}
+
+// Add accumulates other into s. The merged EWMA is the
+// observation-count-weighted mean of the two averages: exact enough for
+// catalog-level reporting, where per-source ordering is what matters.
 func (s *Stats) Add(other Stats) {
 	s.Calls += other.Calls
 	s.TuplesReturned += other.TuplesReturned
+	s.TotalLatency += other.TotalLatency
+	if other.MaxLatency > s.MaxLatency {
+		s.MaxLatency = other.MaxLatency
+	}
+	if other.LatencyCalls > 0 {
+		n := s.LatencyCalls + other.LatencyCalls
+		s.EWMALatency = time.Duration(
+			(int64(s.EWMALatency)*int64(s.LatencyCalls) +
+				int64(other.EWMALatency)*int64(other.LatencyCalls)) / int64(n))
+		s.LatencyCalls = n
+	}
 }
 
 // StatsReporter is implemented by sources that meter their traffic.
@@ -201,6 +256,7 @@ func (t *Table) Patterns() []access.Pattern {
 
 // Call implements Source, enforcing the access-pattern contract.
 func (t *Table) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	start := time.Now()
 	idx, ok := t.index[p]
 	if !ok {
 		return nil, fmt.Errorf("sources: table %s does not support pattern %s (has %v)", t.name, p, t.patterns)
@@ -212,6 +268,7 @@ func (t *Table) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 	t.stats.Calls++
 	rows := idx[strings.Join(inputs, "\x1f")]
 	t.stats.TuplesReturned += len(rows)
+	t.stats.Observe(time.Since(start))
 	hook := t.OnCall
 	t.mu.Unlock()
 	if hook != nil {

@@ -1,0 +1,220 @@
+package ucqn
+
+// Replica-aware execution through the facade: with one replica of
+// three killed or slowed, every paper example still returns the
+// *complete* answer — failover and hedging mask the faulty replica
+// instead of degrading the result.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// brokenCatalog wraps every source of a fresh paperInstance catalog
+// with the given fault injector config.
+func brokenCatalog(t testing.TB, ps *PatternSet, cfg FlakyConfig) *Catalog {
+	t.Helper()
+	base := paperInstance(ps).MustCatalog(ps)
+	var srcs []Source
+	for _, name := range base.Names() {
+		srcs = append(srcs, NewFlakySource(base.Source(name), cfg))
+	}
+	cat, err := NewCatalog(srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// slowCatalog wraps every source of a fresh paperInstance catalog with
+// a fixed per-call delay.
+func slowCatalog(t testing.TB, ps *PatternSet, d time.Duration) *Catalog {
+	t.Helper()
+	cat, err := DelayedCatalog(paperInstance(ps).MustCatalog(ps), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// healthyAnswer is the baseline: the underestimate evaluated against
+// fault-free sources.
+func healthyAnswer(t *testing.T, under Query, ps *PatternSet) *Rel {
+	t.Helper()
+	rel, err := Answer(under, ps, paperInstance(ps).MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// Every paper example, with the primary replica of every source dead
+// (fast-failing): two healthy backups must keep the answer complete, in
+// both materialized and streamed execution.
+func TestExecReplicasSurviveDeadReplica(t *testing.T) {
+	for _, ex := range workload.PaperExamples() {
+		t.Run(ex.Name, func(t *testing.T) {
+			under := Plan(ex.Query, ex.Patterns).Under
+			want := healthyAnswer(t, under, ex.Patterns)
+
+			for _, streamed := range []bool{false, true} {
+				name := "materialized"
+				if streamed {
+					name = "streamed"
+				}
+				t.Run(name, func(t *testing.T) {
+					dead := brokenCatalog(t, ex.Patterns, FlakyConfig{FailEveryN: 1})
+					opts := []ExecOption{
+						WithRuntime(fastRuntime()),
+						WithReplicas(paperInstance(ex.Patterns).MustCatalog(ex.Patterns),
+							paperInstance(ex.Patterns).MustCatalog(ex.Patterns)),
+						WithPartialResults(),
+					}
+					if streamed {
+						opts = append(opts, WithStreaming())
+					}
+					res, err := Exec(context.Background(), under, ex.Patterns, dead, opts...)
+					if err != nil {
+						t.Fatalf("replicated run failed: %v", err)
+					}
+					rel, err := res.Rel()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rel.Equal(want) {
+						t.Errorf("answer = %s, want the healthy %s", rel, want)
+					}
+					inc, ok := res.Incompleteness()
+					if !ok {
+						t.Fatal("no incompleteness report")
+					}
+					if !inc.Complete() {
+						t.Errorf("with healthy backups the answer must be complete:\n%s", inc.Report())
+					}
+				})
+			}
+		})
+	}
+}
+
+// Every paper example, with one replica of three hung (calls block
+// until cancelled): hedging must race past the hung replica and keep
+// the answer complete.
+func TestExecReplicasHedgePastHungReplica(t *testing.T) {
+	for _, ex := range workload.PaperExamples() {
+		t.Run(ex.Name, func(t *testing.T) {
+			under := Plan(ex.Query, ex.Patterns).Under
+			want := healthyAnswer(t, under, ex.Patterns)
+
+			hung := brokenCatalog(t, ex.Patterns, FlakyConfig{FailEveryN: 1, Hang: true})
+			res, err := Exec(context.Background(), under, ex.Patterns, hung,
+				WithRuntime(fastRuntime()),
+				WithReplicas(paperInstance(ex.Patterns).MustCatalog(ex.Patterns),
+					paperInstance(ex.Patterns).MustCatalog(ex.Patterns)),
+				WithHedging(HedgePolicy{Delay: 2 * time.Millisecond}),
+				WithPartialResults(), WithProfile())
+			if err != nil {
+				t.Fatalf("hedged run failed: %v", err)
+			}
+			rel, err := res.Rel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rel.Equal(want) {
+				t.Errorf("answer = %s, want the healthy %s", rel, want)
+			}
+			inc, _ := res.Incompleteness()
+			if !inc.Complete() {
+				t.Errorf("hedging must keep the answer complete:\n%s", inc.Report())
+			}
+		})
+	}
+}
+
+// One slow replica of three: hedging keeps answers complete and equal
+// to the healthy baseline, and the profile surfaces the per-replica
+// breakdown.
+func TestExecReplicasHedgePastSlowReplica(t *testing.T) {
+	ex := workload.PaperExamples()[0]
+	under := Plan(ex.Query, ex.Patterns).Under
+	want := healthyAnswer(t, under, ex.Patterns)
+
+	slow := slowCatalog(t, ex.Patterns, 40*time.Millisecond)
+	res, err := Exec(context.Background(), under, ex.Patterns, slow,
+		WithReplicas(paperInstance(ex.Patterns).MustCatalog(ex.Patterns),
+			paperInstance(ex.Patterns).MustCatalog(ex.Patterns)),
+		WithHedging(HedgePolicy{Delay: time.Millisecond}),
+		WithProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(want) {
+		t.Errorf("answer = %s, want %s", rel, want)
+	}
+	prof, ok := res.Profile()
+	if !ok {
+		t.Fatal("no profile")
+	}
+	if len(prof.Replicas) == 0 {
+		t.Fatal("profile must carry the per-replica breakdown")
+	}
+	for _, rp := range prof.Replicas {
+		if len(rp.Replicas) != 3 {
+			t.Errorf("%s has %d replicas in the breakdown, want 3", rp.Source, len(rp.Replicas))
+		}
+	}
+}
+
+// Per-source latency metering reaches the facade: a delayed source's
+// stats report its per-call latency.
+func TestExecSurfacesLatencyStats(t *testing.T) {
+	q := MustParseQuery(`Q(x) :- R(x).`)
+	ps := MustParsePatterns(`R^o`)
+	in := NewInstance().MustAdd("R", "a")
+	cat, err := DelayedCatalog(in.MustCatalog(ps), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(context.Background(), q, ps, cat); err != nil {
+		t.Fatal(err)
+	}
+	st := cat.TotalStats()
+	if st.LatencyCalls != 1 {
+		t.Fatalf("LatencyCalls = %d, want 1", st.LatencyCalls)
+	}
+	if st.MeanLatency() < 5*time.Millisecond {
+		t.Errorf("mean latency = %s, want ≥ the injected 5ms", st.MeanLatency())
+	}
+	if st.EWMALatency < 5*time.Millisecond || st.MaxLatency < 5*time.Millisecond {
+		t.Errorf("ewma=%s max=%s, want ≥ 5ms", st.EWMALatency, st.MaxLatency)
+	}
+}
+
+// Option validation: replica options need a catalog and never combine
+// with naive evaluation; mismatched backup schemas are rejected.
+func TestExecReplicaOptionValidation(t *testing.T) {
+	q := MustParseQuery(`Q(x) :- R(x).`)
+	ps := MustParsePatterns(`R^o`)
+	in := NewInstance().MustAdd("R", "a")
+	if _, err := Exec(context.Background(), q, ps, nil, WithReplicas(in.MustCatalog(ps))); err == nil {
+		t.Error("WithReplicas without a primary catalog must fail")
+	}
+	if _, err := Exec(context.Background(), q, nil, nil, WithNaive(in), WithReplicas(in.MustCatalog(ps))); err == nil {
+		t.Error("WithNaive with WithReplicas must fail")
+	}
+	if _, err := Exec(context.Background(), q, nil, nil, WithNaive(in), WithHedging(HedgePolicy{Delay: time.Millisecond})); err == nil {
+		t.Error("WithNaive with WithHedging must fail")
+	}
+	other := NewInstance().MustAdd("S", "a")
+	if _, err := Exec(context.Background(), q, ps, in.MustCatalog(ps),
+		WithReplicas(other.MustCatalog(MustParsePatterns(`S^o`)))); err == nil {
+		t.Error("a backup catalog with different relations must fail")
+	}
+}
