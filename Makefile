@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke chaos-smoke paperbench check
+.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke paperbench check
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 # The runtime and source wrappers are concurrent; the race detector is
 # part of the tier-1 bar, not an optional extra.
 test-race:
-	$(GO) test -race ./internal/sources/ ./internal/engine/ ./internal/containment/ ./internal/qcache/ .
+	$(GO) test -race ./internal/sources/ ./internal/engine/ ./internal/containment/ ./internal/qcache/ ./internal/server/ .
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -49,6 +49,15 @@ cache-smoke:
 # Under -race because hedged legs race across replicas by design.
 chaos-smoke:
 	$(GO) test -race -count=1 -run='TestChaosSmoke|TestExecReplicas|TestHedge' . ./internal/engine/
+
+# Serving smoke: boot the multi-tenant daemon in-process, hammer it with
+# the closed-loop load generator under an overload-provoking config
+# (delayed sources, two slots), and require a sound, schema-valid
+# BENCH_E24.json plus a clean shutdown. ucqnload exits non-zero on any
+# unsound answer, transport error, or dirty shutdown.
+serve-smoke:
+	$(GO) run ./cmd/ucqnload -boot -users 8 -duration 2s -quota 50 \
+		-delay 1ms -concurrency 2 -queue 4 -queue-wait 5ms -out BENCH_E24.json
 
 paperbench:
 	$(GO) run ./cmd/paperbench -quick

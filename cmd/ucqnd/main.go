@@ -1,0 +1,84 @@
+// Command ucqnd serves UCQ¬ queries over limited-access sources to
+// multiple tenants. Each tenant gets its own catalog and per-request
+// call quota; all tenants share one plan/answer cache keyed by catalog
+// identity and generation, so identical query texts never alias across
+// tenants. Under overload the server does not 503: requests past the
+// admission queue run with a zero call budget and return the certified
+// underestimate (cache-covered disjuncts still answer; the rest are
+// reported budget-exhausted in the Incompleteness field and the
+// X-UCQN-Incompleteness header).
+//
+//	$ ucqnd -addr :8099 -tenants 3 -quota 50
+//	$ curl -s localhost:8099/v1/query -d '{"tenant":"tenant-0","query":"Q(x, y) :- R(x, y)."}'
+//
+// Endpoints: POST /v1/query, POST /v1/invalidate, GET /v1/stats,
+// GET /v1/healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ucqn "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8099", "listen address")
+	tenants := flag.Int("tenants", 3, "number of fixture tenants to serve")
+	concurrency := flag.Int("concurrency", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth before shedding (0 = 4x concurrency)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a request waits for a slot (0 = 25ms)")
+	quota := flag.Int("quota", 0, "per-request source-call quota per tenant (0 = unlimited)")
+	delay := flag.Duration("delay", 0, "artificial per-call source latency (provokes shedding under load)")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxConcurrent: *concurrency,
+		MaxQueue:      *queue,
+		QueueWait:     *queueWait,
+		DefaultQuota:  ucqn.Budget{MaxCalls: *quota},
+	})
+	for _, f := range server.PaperTenants(*tenants) {
+		cat := f.Catalog()
+		if *delay > 0 {
+			var err error
+			cat, err = ucqn.DelayedCatalog(cat, *delay)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if _, err := s.AddTenant(f.Name, f.Patterns, cat, ucqn.Budget{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ucqnd: serving %d tenants on %s\n", *tenants, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ucqnd: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ucqnd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command ucqnload drives closed-loop load against a ucqnd server and
+// writes the E24 bench report (p50/p99/QPS, shed/degraded counts, and
+// a soundness verdict: every answer row checked against the fixture's
+// naive ground truth).
+//
+// Point it at a running daemon:
+//
+//	$ ucqnload -addr http://127.0.0.1:8099 -users 16 -duration 10s
+//
+// or let it boot an in-process server over a real TCP listener for a
+// self-contained smoke run (what `make serve-smoke` does):
+//
+//	$ ucqnload -boot -users 8 -duration 3s -out BENCH_E24.json
+//
+// The report is schema-checked before it is written; a non-sound run,
+// a dirty shutdown, or any transport error exits non-zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	ucqn "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucqnload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8099", "base URL of a running ucqnd")
+	boot := flag.Bool("boot", false, "boot an in-process server on a loopback port instead of dialing -addr")
+	tenants := flag.Int("tenants", 3, "number of fixture tenants (must match the server's)")
+	users := flag.Int("users", 8, "closed-loop client goroutines")
+	duration := flag.Duration("duration", 3*time.Second, "load duration")
+	seed := flag.Int64("seed", 1, "query-mix seed")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew of the query mix (>1)")
+	out := flag.String("out", "BENCH_E24.json", "bench report path ('' = stdout only)")
+	concurrency := flag.Int("concurrency", 0, "boot mode: max concurrent executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "boot mode: admission queue depth (0 = 4x concurrency)")
+	queueWait := flag.Duration("queue-wait", 0, "boot mode: max slot wait (0 = 25ms)")
+	quota := flag.Int("quota", 0, "boot mode: per-request call quota (0 = unlimited)")
+	delay := flag.Duration("delay", 0, "boot mode: artificial per-call source latency")
+	flag.Parse()
+
+	fixtures := server.PaperTenants(*tenants)
+	base := *addr
+	var httpSrv *http.Server
+	if *boot {
+		s := server.New(server.Config{
+			MaxConcurrent: *concurrency,
+			MaxQueue:      *queue,
+			QueueWait:     *queueWait,
+			DefaultQuota:  ucqn.Budget{MaxCalls: *quota},
+		})
+		for _, f := range fixtures {
+			cat := f.Catalog()
+			if *delay > 0 {
+				var err error
+				cat, err = ucqn.DelayedCatalog(cat, *delay)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err := s.AddTenant(f.Name, f.Patterns, cat, ucqn.Budget{}); err != nil {
+				return err
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "ucqnload: booted in-process server at %s\n", base)
+	}
+
+	report, loadErr := server.RunLoad(context.Background(), base, fixtures, server.LoadConfig{
+		Users: *users, Duration: *duration, Seed: *seed, ZipfS: *zipfS,
+	})
+
+	// Shut the booted server down before judging the run: a dirty
+	// shutdown fails the smoke even when the load itself was clean.
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "ucqnload: server shut down cleanly")
+	}
+	if loadErr != nil {
+		return loadErr
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := server.ValidateBenchReport(data); err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", data)
+	if *out != "" {
+		if err := server.WriteBenchReport(*out, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ucqnload: wrote %s\n", *out)
+	}
+
+	if report.Requests == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	if !report.Sound {
+		return fmt.Errorf("unsound responses: %v", report.Unsound)
+	}
+	if report.Errors > 0 {
+		return fmt.Errorf("%d transport errors", report.Errors)
+	}
+	return nil
+}

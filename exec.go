@@ -42,6 +42,8 @@ type execConfig struct {
 	hasReplicas bool
 	hedge       HedgePolicy
 	hasHedge    bool
+	budget      Budget
+	hasBudget   bool
 }
 
 // ExecOption configures Exec; build them with the With... constructors.
@@ -138,6 +140,18 @@ func WithReplicas(backups ...*Catalog) ExecOption {
 // via WithRuntime is not mutated.
 func WithHedging(h HedgePolicy) ExecOption {
 	return func(c *execConfig) { c.hedge, c.hasHedge = h, true }
+}
+
+// WithBudget caps this execution's source traffic with the per-query
+// call/time budget b, without mutating a shared runtime (the runtime is
+// cloned for the call). Exhausting the budget fails the in-flight call
+// with ErrCallBudget; under WithPartialResults the affected disjuncts
+// degrade instead, yielding a certified underestimate. A negative
+// MaxCalls admits no source calls at all — with WithPartialResults and
+// a query cache the execution answers purely from cached disjuncts,
+// the overload-shedding mode of a serving layer.
+func WithBudget(b Budget) ExecOption {
+	return func(c *execConfig) { c.budget, c.hasBudget = b, true }
 }
 
 // Result is the handle Exec returns. Which accessors are populated
@@ -278,6 +292,10 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 		rt = rt.Clone()
 		rt.Hedge = c.hedge
 	}
+	if c.hasBudget {
+		rt = rt.Clone()
+		rt.Budget = c.budget
+	}
 	if c.hasINDs {
 		q = c.inds.OptimizeChase(q)
 	}
@@ -340,8 +358,8 @@ func (c *execConfig) validate() error {
 			return errors.New("ucqn: WithNaive does not combine with execution options")
 		case c.hasINDs, c.hasStats, c.rt != nil:
 			return errors.New("ucqn: WithNaive ignores access patterns; planning options do not apply")
-		case c.hasReplicas, c.hasHedge:
-			return errors.New("ucqn: WithNaive makes no source calls; replica options do not apply")
+		case c.hasReplicas, c.hasHedge, c.hasBudget:
+			return errors.New("ucqn: WithNaive makes no source calls; replica and budget options do not apply")
 		}
 		return nil
 	}

@@ -193,6 +193,10 @@ func (rt *Runtime) Clone() *Runtime {
 // surfaces.
 type Budget struct {
 	// MaxCalls is the maximum number of call attempts; 0 means unlimited.
+	// A negative value admits no calls at all: every source call fails
+	// ErrCallBudget immediately, so a partial-results execution degrades
+	// to whatever cached answers cover — the overload-shedding mode of a
+	// serving layer.
 	MaxCalls int
 	// MaxTime is the execution's wall-clock allowance, checked before
 	// each attempt (attempts already in flight finish, bounded by
@@ -200,7 +204,7 @@ type Budget struct {
 	MaxTime time.Duration
 }
 
-func (b Budget) active() bool { return b.MaxCalls > 0 || b.MaxTime > 0 }
+func (b Budget) active() bool { return b.MaxCalls != 0 || b.MaxTime > 0 }
 
 // ErrCallBudget marks source calls rejected because the per-query
 // budget (Runtime.Budget) was exhausted. Like a breaker rejection it is
@@ -231,6 +235,9 @@ func (b *budgetState) charge() error {
 	if b == nil {
 		return nil
 	}
+	if b.limit < 0 {
+		return fmt.Errorf("%w: call budget is zero, no source calls admitted", ErrCallBudget)
+	}
 	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		return fmt.Errorf("%w: time budget spent after %d calls", ErrCallBudget, b.spent.Load())
 	}
@@ -243,6 +250,18 @@ func (b *budgetState) charge() error {
 	}
 	b.spent.Add(1)
 	return nil
+}
+
+// refund hands back one admitted attempt that was never launched (the
+// per-source slot acquisition was abandoned to the context). Without it
+// BudgetSpent would over-count launched legs — and an abandoned leg
+// could spend the last slot of the budget that a live worker then gets
+// rejected on.
+func (b *budgetState) refund() {
+	if b == nil {
+		return
+	}
+	b.spent.Add(-1)
 }
 
 // NewRuntime returns the production runtime: deduplication on, one
@@ -434,6 +453,10 @@ func (rt *Runtime) callWithRetry(ctx context.Context, src sources.Source, name s
 				return sources.CallWithContext(c, src, p, inputs)
 			})
 			if !launched {
+				// The slot acquisition was abandoned to the context: the
+				// attempt never happened, so it must not stay charged —
+				// BudgetSpent counts launched legs exactly.
+				budget.refund()
 				return nil, cs, err
 			}
 			cs.attempts++

@@ -1,0 +1,109 @@
+package qcache
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sources"
+)
+
+// makeIdentityCatalog builds a fresh single-relation catalog whose R
+// rows are exactly rows. All catalogs share the same shape, which is
+// what makes the allocator likely to recycle one's address for the
+// next.
+func makeIdentityCatalog(t *testing.T, rows ...string) *sources.Catalog {
+	t.Helper()
+	in := engine.NewInstance()
+	for _, v := range rows {
+		in.MustAdd("R", v)
+	}
+	return in.MustCatalog(pats(t, "R^o"))
+}
+
+// TestCatalogIDsNeverRepeat pins the identity contract the answer cache
+// keys on: every catalog gets a distinct, stable, non-zero ID, however
+// many catalogs have lived and died before it.
+func TestCatalogIDsNeverRepeat(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		cat := makeIdentityCatalog(t, "a")
+		id := cat.ID()
+		if id == 0 {
+			t.Fatal("catalog ID must be non-zero")
+		}
+		if id != cat.ID() {
+			t.Fatalf("catalog ID changed between calls: %d then %d", id, cat.ID())
+		}
+		if seen[id] {
+			t.Fatalf("catalog ID %d handed out twice", id)
+		}
+		seen[id] = true
+		runtime.GC() // let earlier catalogs die; IDs must not be recycled
+	}
+}
+
+// TestRecycledCatalogAddressDoesNotAliasAnswers is the regression test
+// for the catalog-identity bug: Tier-2 entries used to be keyed by
+// fmt.Sprintf("%p", cat), so a catalog allocated at a dead catalog's
+// recycled address — same pointer rendering, same generation — would be
+// served the dead catalog's cached answers (one tenant reading another
+// tenant's rows). The cache holds no reference to the catalog, so the
+// GC is free to recycle it. With identity keyed on the registered
+// monotonic Catalog.ID the hunt below must never observe a cross-catalog
+// hit, address collision or not.
+func TestRecycledCatalogAddressDoesNotAliasAnswers(t *testing.T) {
+	c := New(Options{})
+	ps := pats(t, "R^o")
+	entry, _ := c.Plan(q(t, "Q(x) :- R(x)."), ps)
+	if entry.Err() != nil {
+		t.Fatalf("plan: %v", entry.Err())
+	}
+
+	// Populate Tier 2 on behalf of a generation of catalogs, remember
+	// their addresses, then drop every reference so the GC can recycle
+	// them. The cache keeps only fingerprint strings, so nothing pins
+	// the catalogs — exactly the situation that made the pointer key
+	// unsound.
+	c.opt.MaxAnswerEntries = -1 // keep every poisoned entry resident
+	dead := map[string]bool{}
+	for i := 0; i < 2048; i++ {
+		cat := makeIdentityCatalog(t, "poisoned")
+		c.StoreAnswers(entry, cat, []*engine.Rel{rel("poisoned")})
+		if i == 0 {
+			if hit := c.Answers(entry, cat); hit.Full == nil {
+				t.Fatal("sanity: a stored catalog must hit its own answers")
+			}
+		}
+		dead[fmt.Sprintf("%p", cat)] = true
+	}
+
+	// Hunt for an allocation reuse: a fresh catalog (different data,
+	// same zero generation) landing on any dead catalog's address. The
+	// catalogs are identically shaped, so the allocator tends to hand
+	// freed slots back; if it never does, the run proves nothing and
+	// skips.
+	for i := 0; i < 100000; i++ {
+		if i%64 == 0 {
+			runtime.GC()
+		}
+		fresh := makeIdentityCatalog(t, "fresh")
+		if !dead[fmt.Sprintf("%p", fresh)] {
+			continue
+		}
+		// Address recycled. The fresh catalog holds different data, so
+		// reusing a dead catalog's rows would be unsound.
+		hit := c.Answers(entry, fresh)
+		if hit.Full != nil {
+			t.Fatalf("recycled address served a dead catalog's answers: %v", hit.Full.Rows())
+		}
+		for i, covered := range hit.Covered {
+			if covered {
+				t.Fatalf("recycled address covered disjunct %d from a dead catalog's entries", i)
+			}
+		}
+		return
+	}
+	t.Skip("allocator never recycled a dead catalog's address; nothing to observe")
+}

@@ -497,8 +497,17 @@ func (c *Cache) build(q logic.UCQ, ps *access.Set) *PlanEntry {
 
 // catFingerprint keys answers to a catalog identity and generation:
 // swapping catalogs or invalidating one orphans its cached answers.
+//
+// Identity is the catalog's registered monotonic ID, never its address:
+// a pointer rendering ("%p") aliases as soon as the garbage collector
+// recycles the address of a dead catalog for a new one — the cache
+// holds no reference to the catalog, so nothing pins it — and a second
+// tenant's catalog landing on a first tenant's old address would be
+// served the first tenant's cached answers. IDs are process-unique and
+// never reused, so distinct catalogs can never collide however the
+// allocator places them.
 func catFingerprint(cat *sources.Catalog) string {
-	return fmt.Sprintf("%p:%d", cat, cat.Generation())
+	return fmt.Sprintf("%d:%d", cat.ID(), cat.Generation())
 }
 
 // Answers consults the answer cache for e against cat. Soundness: a

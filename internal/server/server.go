@@ -1,0 +1,466 @@
+// Package server is the multi-tenant serving layer over the ucqn
+// facade: an HTTP daemon (cmd/ucqnd) exposing Exec over the wire with
+// per-tenant catalogs and quotas, admission control with queue-depth
+// shedding, and one semantic query cache shared across tenants.
+//
+// The overload contract follows the paper's ANSWER* reading: a request
+// the server cannot afford to evaluate is not refused with a 503 — it
+// is executed in shed mode (a per-query budget that admits no source
+// calls), which degrades it to the certified underestimate covered by
+// the answer cache, with the Incompleteness report serialized into the
+// response instead of an error. Every 200 is sound; "complete" says
+// whether it is also exact.
+//
+// Tenant isolation rests on two invariants of the underlying runtime
+// (see DESIGN.md): answer-cache entries are keyed by the registered
+// monotonic catalog ID (never a recycled pointer), and cross-tenant
+// reuse of answers requires proven query equivalence plus an identical
+// catalog fingerprint. Each tenant owns its catalog, so one tenant's
+// rows can never serve another's query.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ucqn "repro"
+)
+
+// Config configures a Server. The zero value serves with GOMAXPROCS
+// execution slots, a queue of four waiters per slot, a 25ms queue wait,
+// no default quota, and default cache options.
+type Config struct {
+	// MaxConcurrent is the number of queries evaluated simultaneously;
+	// 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue is how many admitted requests may wait for a slot before
+	// further arrivals shed; 0 means 4×MaxConcurrent.
+	MaxQueue int
+	// QueueWait bounds how long an admitted request waits for a slot
+	// before it sheds; 0 means 25ms.
+	QueueWait time.Duration
+	// DefaultQuota is the per-request source-call budget applied to
+	// tenants registered without their own. Zero means unlimited.
+	DefaultQuota ucqn.Budget
+	// Cache configures the shared cross-tenant query cache.
+	Cache ucqn.QueryCacheOptions
+}
+
+func (c Config) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.maxConcurrent()
+}
+
+func (c Config) queueWait() time.Duration {
+	if c.QueueWait > 0 {
+		return c.QueueWait
+	}
+	return 25 * time.Millisecond
+}
+
+// Tenant is one registered tenant: its catalog, declared patterns, and
+// per-request quota, plus cumulative serving counters.
+type Tenant struct {
+	name  string
+	ps    *ucqn.PatternSet
+	cat   *ucqn.Catalog
+	quota ucqn.Budget
+
+	requests atomic.Int64
+	shed     atomic.Int64
+	degraded atomic.Int64
+	errors   atomic.Int64
+	calls    atomic.Int64 // source-call budget spent across requests
+}
+
+// Catalog returns the tenant's catalog.
+func (t *Tenant) Catalog() *ucqn.Catalog { return t.cat }
+
+// Patterns returns the tenant's declared access patterns.
+func (t *Tenant) Patterns() *ucqn.PatternSet { return t.ps }
+
+// Server serves Exec over HTTP for a set of tenants. Construct with
+// New, register tenants with AddTenant, and mount Handler.
+type Server struct {
+	cfg   Config
+	qc    *ucqn.QueryCache
+	slots chan struct{}
+
+	queued atomic.Int64
+	sheds  atomic.Int64
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// New returns a server with the given configuration and a fresh shared
+// query cache.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		qc:      ucqn.NewQueryCache(cfg.Cache),
+		slots:   make(chan struct{}, cfg.maxConcurrent()),
+		tenants: map[string]*Tenant{},
+	}
+}
+
+// Cache returns the shared cross-tenant query cache.
+func (s *Server) Cache() *ucqn.QueryCache { return s.qc }
+
+// AddTenant registers a tenant with its own catalog and patterns. A
+// zero quota inherits Config.DefaultQuota. Registering an existing name
+// is an error.
+func (s *Server) AddTenant(name string, ps *ucqn.PatternSet, cat *ucqn.Catalog, quota ucqn.Budget) (*Tenant, error) {
+	if name == "" {
+		return nil, errors.New("server: tenant name must be non-empty")
+	}
+	if ps == nil || cat == nil {
+		return nil, errors.New("server: tenant needs patterns and a catalog")
+	}
+	if quota == (ucqn.Budget{}) {
+		quota = s.cfg.DefaultQuota
+	}
+	t := &Tenant{name: name, ps: ps, cat: cat, quota: quota}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; ok {
+		return nil, fmt.Errorf("server: tenant %q already registered", name)
+	}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// Tenant returns the named tenant, or nil.
+func (s *Server) Tenant(name string) *Tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[name]
+}
+
+// Invalidate bumps the named tenant's catalog generation: its cached
+// answers stop matching and are re-derived from the sources on the next
+// query. Other tenants' entries are untouched.
+func (s *Server) Invalidate(name string) error {
+	t := s.Tenant(name)
+	if t == nil {
+		return fmt.Errorf("server: unknown tenant %q", name)
+	}
+	t.cat.Invalidate()
+	return nil
+}
+
+// Request is the wire shape of POST /v1/query.
+type Request struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+}
+
+// FailedRule is one dropped disjunct of a degraded answer.
+type FailedRule struct {
+	Rule   int    `json:"rule"` // 1-based index in the executed union
+	Class  string `json:"class"`
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error"`
+}
+
+// IncompletenessReport serializes an engine Incompleteness for the
+// wire: how many disjuncts survived and why the rest were dropped.
+type IncompletenessReport struct {
+	RulesTotal    int          `json:"rules_total"`
+	RulesSurvived int          `json:"rules_survived"`
+	Failed        []FailedRule `json:"failed,omitempty"`
+}
+
+// Response is the wire shape of one answered query. Answers are always
+// sound (every row is a certain answer); Complete says whether they are
+// also exact, and Incompleteness reports what was dropped when not.
+// Shed marks answers produced in overload shed mode (no source calls;
+// the certified underestimate covered by the cache).
+type Response struct {
+	Tenant         string                `json:"tenant"`
+	Answers        [][]string            `json:"answers"`
+	Complete       bool                  `json:"complete"`
+	Shed           bool                  `json:"shed"`
+	Degraded       bool                  `json:"degraded"`
+	Incompleteness *IncompletenessReport `json:"incompleteness,omitempty"`
+	Calls          int                   `json:"calls"`
+	ElapsedMS      float64               `json:"elapsed_ms"`
+}
+
+// Header names carrying the completeness contract alongside the body,
+// so clients can triage without decoding it.
+const (
+	HeaderComplete       = "X-UCQN-Complete"       // "true" | "false"
+	HeaderShed           = "X-UCQN-Shed"           // "true" | "false"
+	HeaderIncompleteness = "X-UCQN-Incompleteness" // compact report, e.g. "2/3 disjuncts; classes=budget-exhausted"
+)
+
+// admit reserves an execution slot. It returns a release function when
+// the request may run at full budget, or shed=true when the server is
+// past its queue depth (or the wait timed out) and the request must
+// degrade to cache-only evaluation.
+func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, false
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.maxQueue()) {
+		s.queued.Add(-1)
+		return nil, true
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.cfg.queueWait())
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, false
+	case <-timer.C:
+		return nil, true
+	case <-ctx.Done():
+		return nil, true
+	}
+}
+
+// Query answers one tenant query, applying admission control, the
+// tenant quota, and the shared cache. It is the HTTP handler's core and
+// is also callable directly (tests, in-process loadgen).
+func (s *Server) Query(ctx context.Context, tenant, query string) (*Response, error) {
+	t := s.Tenant(tenant)
+	if t == nil {
+		return nil, fmt.Errorf("server: unknown tenant %q", tenant)
+	}
+	q, err := ucqn.ParseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("server: parse query: %w", err)
+	}
+	t.requests.Add(1)
+
+	start := time.Now()
+	release, shed := s.admit(ctx)
+	opts := []ucqn.ExecOption{
+		ucqn.WithQueryCache(s.qc),
+		ucqn.WithPartialResults(),
+		ucqn.WithProfile(),
+	}
+	if shed {
+		s.sheds.Add(1)
+		t.shed.Add(1)
+		// Overload: no source calls are admitted. Cached disjuncts still
+		// answer; the rest degrade to budget-exhausted. The response is
+		// the certified underestimate, never a 503.
+		opts = append(opts, ucqn.WithBudget(ucqn.Budget{MaxCalls: -1}))
+	} else {
+		defer release()
+		if t.quota != (ucqn.Budget{}) {
+			opts = append(opts, ucqn.WithBudget(t.quota))
+		}
+	}
+	res, err := ucqn.Exec(ctx, q, t.ps, t.cat, opts...)
+	if err != nil {
+		t.errors.Add(1)
+		return nil, err
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.errors.Add(1)
+		return nil, err
+	}
+
+	resp := &Response{
+		Tenant:    tenant,
+		Answers:   wireRows(rel),
+		Complete:  true,
+		Shed:      shed,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if prof, ok := res.Profile(); ok {
+		resp.Calls = prof.BudgetSpent
+		t.calls.Add(int64(prof.BudgetSpent))
+	}
+	if inc, ok := res.Incompleteness(); ok {
+		resp.Incompleteness = wireIncompleteness(inc)
+		if !inc.Complete() {
+			resp.Complete = false
+			resp.Degraded = true
+			t.degraded.Add(1)
+		}
+	}
+	return resp, nil
+}
+
+// wireRows flattens a relation for the wire. Underestimates carry no
+// nulls (they are answers of surviving disjuncts); a null from other
+// execution modes serializes as the string "null".
+func wireRows(rel *ucqn.Rel) [][]string {
+	out := make([][]string, 0, rel.Len())
+	for _, row := range rel.Sorted() {
+		r := make([]string, len(row))
+		for i, v := range row {
+			if v.Null {
+				r[i] = "null"
+			} else {
+				r[i] = v.S
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func wireIncompleteness(inc ucqn.Incompleteness) *IncompletenessReport {
+	rep := &IncompletenessReport{RulesTotal: inc.RulesTotal, RulesSurvived: inc.RulesSurvived}
+	for _, f := range inc.Failed {
+		fr := FailedRule{Rule: f.RuleIndex + 1, Class: string(f.Class), Source: f.Source}
+		if f.Err != nil {
+			fr.Error = f.Err.Error()
+		}
+		rep.Failed = append(rep.Failed, fr)
+	}
+	return rep
+}
+
+// compactIncompleteness renders the report for the response header: one
+// line, survivors out of total plus the distinct failure classes.
+func compactIncompleteness(rep *IncompletenessReport) string {
+	classes := []string{}
+	seen := map[string]bool{}
+	for _, f := range rep.Failed {
+		if !seen[f.Class] {
+			seen[f.Class] = true
+			classes = append(classes, f.Class)
+		}
+	}
+	sort.Strings(classes)
+	out := fmt.Sprintf("%d/%d disjuncts", rep.RulesSurvived, rep.RulesTotal)
+	if len(classes) > 0 {
+		out += "; classes=" + strings.Join(classes, ",")
+	}
+	return out
+}
+
+// TenantStats is one tenant's cumulative serving counters.
+type TenantStats struct {
+	Requests int64 `json:"requests"`
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
+	Errors   int64 `json:"errors"`
+	Calls    int64 `json:"calls"`
+}
+
+// Stats reports the server's counters per tenant plus the shared cache.
+type Stats struct {
+	Tenants map[string]TenantStats `json:"tenants"`
+	Shed    int64                  `json:"shed"`
+	Cache   ucqn.QueryCacheStats   `json:"cache"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	out := Stats{Tenants: map[string]TenantStats{}, Shed: s.sheds.Load(), Cache: s.qc.Stats()}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, t := range s.tenants {
+		out.Tenants[name] = TenantStats{
+			Requests: t.requests.Load(),
+			Shed:     t.shed.Load(),
+			Degraded: t.degraded.Load(),
+			Errors:   t.errors.Load(),
+			Calls:    t.calls.Load(),
+		}
+	}
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/query      {"tenant": ..., "query": ...} → Response
+//	POST /v1/invalidate {"tenant": ...}               → 204
+//	GET  /v1/stats                                    → Stats
+//	GET  /v1/healthz                                  → 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/invalidate", s.handleInvalidate)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Query(r.Context(), req.Tenant, req.Query)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.Tenant(req.Tenant) == nil {
+			status = http.StatusNotFound
+		} else if strings.Contains(err.Error(), "parse query") {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderComplete, strconv.FormatBool(resp.Complete))
+	w.Header().Set(HeaderShed, strconv.FormatBool(resp.Shed))
+	if resp.Incompleteness != nil && !resp.Complete {
+		w.Header().Set(HeaderIncompleteness, compactIncompleteness(resp.Incompleteness))
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		return // client went away mid-body; nothing to salvage
+	}
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Invalidate(req.Tenant); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		return
+	}
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	ucqn "repro"
+)
+
+// newTestServer boots a server over n fixture tenants.
+func newTestServer(t *testing.T, cfg Config, n int) (*Server, []*TenantFixture) {
+	t.Helper()
+	s := New(cfg)
+	fixtures := PaperTenants(n)
+	for _, f := range fixtures {
+		if _, err := s.AddTenant(f.Name, f.Patterns, f.Catalog(), ucqn.Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, fixtures
+}
+
+// post issues a query over HTTP and returns the response and headers.
+func post(t *testing.T, url, tenant, query string) (*Response, http.Header, int) {
+	t.Helper()
+	body, _ := json.Marshal(Request{Tenant: tenant, Query: query})
+	httpResp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if httpResp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &resp, httpResp.Header, httpResp.StatusCode
+}
+
+// relOf rebuilds a Rel from wire rows.
+func relOf(rows [][]string) *ucqn.Rel {
+	rel := ucqn.NewRel()
+	for _, row := range rows {
+		rel.Add(ucqn.RowOf(row...))
+	}
+	return rel
+}
+
+func TestServerAnswersEveryTenantExactly(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{}, 3)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, f := range fixtures {
+		for qi, q := range f.Queries {
+			resp, hdr, status := post(t, ts.URL, f.Name, q)
+			if status != http.StatusOK {
+				t.Fatalf("%s q%d: status %d", f.Name, qi, status)
+			}
+			if !resp.Complete || resp.Shed || resp.Degraded {
+				t.Fatalf("%s q%d: complete=%v shed=%v degraded=%v, want a complete live answer",
+					f.Name, qi, resp.Complete, resp.Shed, resp.Degraded)
+			}
+			if hdr.Get(HeaderComplete) != "true" || hdr.Get(HeaderShed) != "false" {
+				t.Fatalf("%s q%d: headers complete=%q shed=%q", f.Name, qi, hdr.Get(HeaderComplete), hdr.Get(HeaderShed))
+			}
+			if got := relOf(resp.Answers); !got.Equal(f.Expected[qi]) {
+				t.Fatalf("%s q%d: answers = %v, ground truth %v", f.Name, qi, got, f.Expected[qi])
+			}
+		}
+	}
+	st := s.Stats()
+	for _, f := range fixtures {
+		ts := st.Tenants[f.Name]
+		if ts.Requests != int64(len(f.Queries)) || ts.Errors != 0 || ts.Shed != 0 {
+			t.Errorf("%s stats = %+v", f.Name, ts)
+		}
+	}
+}
+
+func TestServerUnknownTenantAndBadQuery(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{}, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, _, status := post(t, ts.URL, "nobody", fixtures[0].Queries[0]); status != http.StatusNotFound {
+		t.Errorf("unknown tenant status = %d, want 404", status)
+	}
+	if _, _, status := post(t, ts.URL, fixtures[0].Name, "this is not a query"); status != http.StatusBadRequest {
+		t.Errorf("bad query status = %d, want 400", status)
+	}
+}
+
+// Overload must degrade to the certified underestimate, never a 503:
+// with the only execution slot occupied and the queue wait elapsed, a
+// query with warm cached answers still returns them complete; a cold
+// query returns an empty underestimate whose Incompleteness report says
+// every disjunct was budget-exhausted. Both are HTTP 200.
+func TestServerShedsToCertifiedUnderestimate(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 2, QueueWait: 2 * time.Millisecond}, 1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	f := fixtures[0]
+	warm, cold := f.Queries[0], f.Queries[1]
+
+	// Warm the answer cache at full budget.
+	if resp, _, _ := post(t, ts.URL, f.Name, warm); !resp.Complete {
+		t.Fatal("warm-up must answer completely")
+	}
+
+	// Occupy the only slot: everything below runs overloaded.
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	resp, hdr, status := post(t, ts.URL, f.Name, warm)
+	if status != http.StatusOK {
+		t.Fatalf("shed warm status = %d, want 200", status)
+	}
+	if !resp.Shed || !resp.Complete {
+		t.Fatalf("shed warm: shed=%v complete=%v, want a complete cache-served answer", resp.Shed, resp.Complete)
+	}
+	if got := relOf(resp.Answers); !got.Equal(f.Expected[0]) {
+		t.Fatalf("shed warm answers = %v, want %v", got, f.Expected[0])
+	}
+	if resp.Calls != 0 {
+		t.Errorf("shed request spent %d source calls, want 0", resp.Calls)
+	}
+	if hdr.Get(HeaderShed) != "true" {
+		t.Errorf("%s = %q, want true", HeaderShed, hdr.Get(HeaderShed))
+	}
+
+	resp, hdr, status = post(t, ts.URL, f.Name, cold)
+	if status != http.StatusOK {
+		t.Fatalf("shed cold status = %d, want 200 (never a 503)", status)
+	}
+	if !resp.Shed || resp.Complete || !resp.Degraded {
+		t.Fatalf("shed cold: shed=%v complete=%v degraded=%v", resp.Shed, resp.Complete, resp.Degraded)
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("shed cold answers = %v, want the empty underestimate", resp.Answers)
+	}
+	if resp.Incompleteness == nil || len(resp.Incompleteness.Failed) == 0 {
+		t.Fatalf("shed cold: incompleteness = %+v, want budget-exhausted failures", resp.Incompleteness)
+	}
+	for _, fr := range resp.Incompleteness.Failed {
+		if fr.Class != "budget-exhausted" {
+			t.Errorf("failure class = %q, want budget-exhausted", fr.Class)
+		}
+	}
+	if h := hdr.Get(HeaderIncompleteness); !strings.Contains(h, "budget-exhausted") {
+		t.Errorf("%s = %q, want the compact report naming budget-exhausted", HeaderIncompleteness, h)
+	}
+	if st := s.Stats(); st.Shed != 2 || st.Tenants[f.Name].Shed != 2 {
+		t.Errorf("shed counters = %d global / %d tenant, want 2/2", st.Shed, st.Tenants[f.Name].Shed)
+	}
+}
+
+// Invalidation bumps the tenant's catalog generation: cached answers
+// stop matching and the next query re-reads the sources.
+func TestServerInvalidateBustsTenantAnswers(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{}, 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	f := fixtures[0]
+	ctx := context.Background()
+
+	if _, err := s.Query(ctx, f.Name, f.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tenant(f.Name).cat.TotalStats().Calls
+	if before == 0 {
+		t.Fatal("sanity: sources were never called")
+	}
+	cached, err := s.Query(ctx, f.Name, f.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Complete {
+		t.Fatal("cached answer must be complete")
+	}
+	if after := s.Tenant(f.Name).cat.TotalStats().Calls; after != before {
+		t.Fatalf("second query re-read the sources: %d -> %d calls", before, after)
+	}
+
+	body, _ := json.Marshal(Request{Tenant: f.Name})
+	httpResp, err := http.Post(ts.URL+"/v1/invalidate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("invalidate status = %d", httpResp.StatusCode)
+	}
+
+	if _, err := s.Query(ctx, f.Name, f.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Tenant(f.Name).cat.TotalStats().Calls; after <= before {
+		t.Fatalf("post-invalidate query served stale cache: calls still %d", after)
+	}
+
+	// The sibling tenant's cached answers are untouched by the bump.
+	g := fixtures[1]
+	if _, err := s.Query(ctx, g.Name, g.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	gBefore := s.Tenant(g.Name).cat.TotalStats().Calls
+	if _, err := s.Query(ctx, g.Name, g.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if gAfter := s.Tenant(g.Name).cat.TotalStats().Calls; gAfter != gBefore {
+		t.Errorf("tenant %s lost its cache to %s's invalidation", g.Name, f.Name)
+	}
+}
+
+func TestValidateBenchReport(t *testing.T) {
+	good := &LoadReport{Experiment: "E24", Requests: 10, QPS: 3.3, Sound: true}
+	data, _ := json.Marshal(good)
+	if err := ValidateBenchReport(data); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "p99_ms")
+	bad, _ := json.Marshal(m)
+	if err := ValidateBenchReport(bad); err == nil {
+		t.Error("missing p99_ms must fail validation")
+	}
+	m["p99_ms"] = "fast"
+	bad, _ = json.Marshal(m)
+	if err := ValidateBenchReport(bad); err == nil {
+		t.Error("non-numeric p99_ms must fail validation")
+	}
+	m["p99_ms"] = 1.0
+	m["experiment"] = "E7"
+	bad, _ = json.Marshal(m)
+	if err := ValidateBenchReport(bad); err == nil {
+		t.Error("wrong experiment tag must fail validation")
+	}
+}
+
+// The load generator against a live server must produce a sound,
+// schema-valid report with traffic in it.
+func TestLoadGenSoundReport(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{}, 3)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(context.Background(), ts.URL, fixtures, LoadConfig{
+		Users: 4, Duration: 300 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("loadgen made no requests")
+	}
+	if !report.Sound {
+		t.Fatalf("unsound responses: %v", report.Unsound)
+	}
+	if report.Errors != 0 {
+		t.Errorf("errors = %d", report.Errors)
+	}
+	if report.QPS <= 0 || report.P50MS < 0 || report.P99MS < report.P50MS {
+		t.Errorf("latency summary: qps=%.1f p50=%.3f p99=%.3f", report.QPS, report.P50MS, report.P99MS)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Errorf("harness output fails its own schema: %v", err)
+	}
+}

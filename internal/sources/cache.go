@@ -3,6 +3,7 @@ package sources
 import (
 	"container/list"
 	"context"
+	"errors"
 	"strings"
 	"sync"
 
@@ -91,57 +92,77 @@ func (c *Cached) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
 // goroutine's in-flight fetch of the same key stops waiting when its
 // own context is cancelled; the fetch itself runs under the leader's
 // context.
+//
+// A leader whose fetch died of its *own* context's cancellation must
+// not poison the followers: their contexts may be perfectly live (one
+// query's caller hanging up says nothing about the others), so such a
+// follower loops back and retries — re-checking the cache, joining a
+// newer flight, or becoming the new leader and fetching under its own
+// context. Real source failures still propagate to every waiter
+// unchanged.
 func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
 	key := string(p) + "\x00" + strings.Join(inputs, "\x1f")
-	c.mu.Lock()
-	if elem, ok := c.cache[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(elem)
-		rows := elem.Value.(*cacheEntry).rows
-		c.mu.Unlock()
-		return copyTuples(rows), nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		if f.err != nil {
-			return nil, f.err
-		}
+	for {
 		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
-		return copyTuples(f.rows), nil
-	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	gen := c.gen
-	c.mu.Unlock()
-
-	rows, err := CallWithContext(ctx, c.inner, p, inputs)
-
-	c.mu.Lock()
-	if err != nil {
-		f.err = err
-	} else {
-		f.rows = copyTuples(rows)
-		if gen == c.gen {
-			c.misses++
-			c.install(key, f.rows)
+		if elem, ok := c.cache[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(elem)
+			rows := elem.Value.(*cacheEntry).rows
+			c.mu.Unlock()
+			return copyTuples(rows), nil
 		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if isContextError(f.err) && ctx.Err() == nil {
+					continue // leader hung up, we did not: take over
+				}
+				return nil, f.err
+			}
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return copyTuples(f.rows), nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		gen := c.gen
+		c.mu.Unlock()
+
+		rows, err := CallWithContext(ctx, c.inner, p, inputs)
+
+		c.mu.Lock()
+		if err != nil {
+			f.err = err
+		} else {
+			f.rows = copyTuples(rows)
+			if gen == c.gen {
+				c.misses++
+				c.install(key, f.rows)
+			}
+		}
+		if gen == c.gen {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return rows, nil
 	}
-	if gen == c.gen {
-		delete(c.inflight, key)
-	}
-	c.mu.Unlock()
-	close(f.done)
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+}
+
+// isContextError reports whether err is a context cancellation or
+// deadline expiry — the error classes that belong to one caller's
+// context rather than to the source.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // install adds a fetched key to the cache and evicts past capacity;

@@ -152,6 +152,94 @@ func TestCachedFollowerCancellation(t *testing.T) {
 	close(inner.release)
 }
 
+// ctxBlockingSource parks calls until released but gives up when the
+// caller's context is cancelled, like a real remote client would. Every
+// call that reaches the source sends one token on started.
+type ctxBlockingSource struct {
+	rows    []Tuple
+	release chan struct{}
+	started chan struct{}
+	calls   atomic.Int32
+}
+
+func (s *ctxBlockingSource) Name() string               { return "B" }
+func (s *ctxBlockingSource) Arity() int                 { return 2 }
+func (s *ctxBlockingSource) Patterns() []access.Pattern { return []access.Pattern{"io"} }
+func (s *ctxBlockingSource) Call(p access.Pattern, inputs []string) ([]Tuple, error) {
+	return s.CallContext(context.Background(), p, inputs)
+}
+func (s *ctxBlockingSource) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]Tuple, error) {
+	s.calls.Add(1)
+	s.started <- struct{}{}
+	select {
+	case <-s.release:
+		return copyTuples(s.rows), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Regression test for the cancellation-poisoning bug: a leader whose
+// *own* context is cancelled mid-fetch used to hand context.Canceled to
+// every waiting follower, even though their contexts were live. One
+// follower must instead take over as the new leader and refetch; the
+// rest wait on it and get rows.
+func TestCachedCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	inner := &ctxBlockingSource{
+		rows:    []Tuple{{"k", "v"}},
+		release: make(chan struct{}),
+		started: make(chan struct{}, 16),
+	}
+	c := NewCached(inner)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.CallContext(leaderCtx, "io", []string{"k"})
+		leaderErr <- err
+	}()
+	<-inner.started // leader is parked inside the source
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	rows := make([][]Tuple, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], errs[i] = c.CallContext(context.Background(), "io", []string{"k"})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the followers join the flight
+	cancelLeader()
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("cancelled leader error = %v, want context.Canceled", err)
+	}
+
+	select {
+	case <-inner.started: // exactly one follower took over and refetched
+	case <-time.After(5 * time.Second):
+		t.Fatal("no follower was promoted to leader after the leader's cancellation")
+	}
+	close(inner.release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d poisoned by the leader's cancellation: %v", i, errs[i])
+		}
+		if len(rows[i]) != 1 || rows[i][0][1] != "v" {
+			t.Fatalf("follower %d rows = %v", i, rows[i])
+		}
+	}
+	// One fetch died with the old leader, one succeeded under the new
+	// one; the promotion must not fan out into a thundering herd.
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("inner calls = %d, want exactly 2 (dead leader + promoted follower)", got)
+	}
+}
+
 // Regression test for the wrapped-catalog accounting bug: TotalStats on
 // a CachedCatalog must report the inner sources' real traffic instead of
 // zero (the wrappers are not *Table).

@@ -323,10 +323,21 @@ func (t *Table) Rows() []Tuple {
 // since callers reset stats exactly when they are about to re-measure —
 // typically after changing the underlying data or wrappers. Cached
 // answers keyed to an older generation are never reused.
+//
+// It also carries a process-unique identity (ID): caches must never key
+// a catalog by its pointer, because the garbage collector recycles
+// addresses — a new catalog allocated where a dead one lived would
+// silently inherit the dead one's cached answers. IDs are handed out
+// from a monotonic counter and are never reused within a process.
 type Catalog struct {
 	byName map[string]Source
 	gen    atomic.Int64
+	id     atomic.Int64
 }
+
+// catalogIDs hands out process-unique catalog identities; 0 is reserved
+// for "not yet assigned".
+var catalogIDs atomic.Int64
 
 // NewCatalog builds a catalog from sources; duplicate names are an error.
 func NewCatalog(srcs ...Source) (*Catalog, error) {
@@ -396,6 +407,22 @@ func (c *Catalog) ResetStats() {
 			r.ResetStats()
 		}
 	}
+}
+
+// ID returns the catalog's process-unique identity, assigning it on
+// first use. Unlike the catalog's address it is monotonic and never
+// recycled, so two catalogs alive at different times can never share an
+// ID — the property answer caches key on. The zero Catalog value gets
+// an ID lazily; IDs are safe to request concurrently.
+func (c *Catalog) ID() int64 {
+	if id := c.id.Load(); id != 0 {
+		return id
+	}
+	next := catalogIDs.Add(1)
+	if c.id.CompareAndSwap(0, next) {
+		return next
+	}
+	return c.id.Load()
 }
 
 // Generation returns the catalog's invalidation generation.

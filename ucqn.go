@@ -214,6 +214,12 @@ var (
 // NewInstance returns an empty database instance.
 func NewInstance() *Instance { return engine.NewInstance() }
 
+// NewRel returns an empty answer relation.
+func NewRel() *Rel { return engine.NewRel() }
+
+// RowOf builds an answer row of constant values.
+func RowOf(vals ...string) Row { return engine.RowOf(vals...) }
+
 // NewTable builds an in-memory metered source.
 func NewTable(name string, arity int, patterns []Pattern, rows []Tuple) (*Table, error) {
 	return sources.NewTable(name, arity, patterns, rows)
