@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke paperbench check
+.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke paperbench check
 
 all: check
 
@@ -18,15 +18,41 @@ test:
 test-race:
 	$(GO) test -race ./internal/sources/ ./internal/engine/ ./internal/containment/ ./internal/qcache/ ./internal/server/ .
 
+# Deprecated-API lint: the historical facade entry points (Answer,
+# AnswerParallel, AnswerProfiled, AnswerNaive, RunAnswerStar,
+# AnswerStarUnder, ImproveUnder) survive only as wrappers in ucqn.go
+# and extensions.go; every other first-party caller must go through
+# Exec. deprecated_test.go is exempt — it is the wrapper-equivalence
+# suite. See README "Migrating off the deprecated wrappers".
+DEPRECATED_API = Answer|AnswerParallel|AnswerProfiled|AnswerNaive|RunAnswerStar|AnswerStarUnder|ImproveUnder
+
+lint:
+	@bad=$$( \
+		grep -rnE 'ucqn\.($(DEPRECATED_API))\(' --include='*.go' cmd examples internal 2>/dev/null; \
+		grep -nE '(^|[^.A-Za-z0-9_])($(DEPRECATED_API))\(' *.go 2>/dev/null \
+			| grep -vE '^(ucqn|extensions)\.go:' \
+			| grep -v '^deprecated_test.go:' \
+			| grep -vE ':[0-9]+:\s*(//|func )' \
+	); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: deprecated entry points called outside ucqn.go/extensions.go (use Exec; see README):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint: no deprecated-API callers"
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # One pass over the runtime-heavy benchmarks (E19 dedup ablation, the
 # E20 streaming pipeline, E21 degradation, E22 query cache, E23 hedged
-# requests): runs each once, which also exercises their built-in
-# acceptance assertions.
+# requests, E25 columnar evaluation): runs each once, which also
+# exercises their built-in acceptance assertions — E25 requires a ≥5×
+# columnar speedup at byte-identical answers and identical source
+# calls, and that columnar allocs/op stay below the map-evaluator
+# baseline recorded in BENCH_E25.json.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='E19|E20|E21|E22|E23' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='E19|E20|E21|E22|E23|E25' -benchtime=1x .
 
 # Fault-injection smoke: the paper examples' underestimates with one
 # source killed per run must degrade (partial answers + incompleteness
@@ -62,4 +88,4 @@ serve-smoke:
 paperbench:
 	$(GO) run ./cmd/paperbench -quick
 
-check: build vet test test-race
+check: build vet lint test test-race

@@ -56,13 +56,13 @@ func (c *execConfig) useQueryCache() bool {
 func cacheProfile(info qcache.PlanInfo, hit qcache.AnswerHit) engine.Profile {
 	var p engine.Profile
 	if info.Hit {
-		p.PlanCacheHits = 1
+		p.Cache.PlanHits = 1
 	}
-	p.CacheEvictions = info.Evictions
+	p.Cache.Evictions = info.Evictions
 	if hit.Full != nil {
-		p.AnswerCacheHits = 1
+		p.Cache.AnswerHits = 1
 	} else {
-		p.PartialReuseRules = hit.CachedRules
+		p.Cache.PartialReuseRules = hit.CachedRules
 	}
 	return p
 }
@@ -144,9 +144,9 @@ func execCachedMaterialized(ctx context.Context, rt *Runtime, c *execConfig, ent
 	// answers are stored.
 	evicted := c.qc.StoreAnswers(entry, cat, rels)
 
-	liveProf.PlanCacheHits += prof.PlanCacheHits
-	liveProf.PartialReuseRules += prof.PartialReuseRules
-	liveProf.CacheEvictions += prof.CacheEvictions + evicted
+	liveProf.Cache.PlanHits += prof.Cache.PlanHits
+	liveProf.Cache.PartialReuseRules += prof.Cache.PartialReuseRules
+	liveProf.Cache.Evictions += prof.Cache.Evictions + evicted
 	return &Result{rel: out, profiled: c.profile, prof: liveProf, inc: inc}, nil
 }
 

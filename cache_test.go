@@ -102,7 +102,7 @@ func TestCacheCorrectnessProperty(t *testing.T) {
 					t.Fatalf("variant %d: cached answer %s != uncached %s for\n%s", vi, rel, want, v)
 				}
 				prof, _ := res.Profile()
-				if vi > 0 && prof.PlanCacheHits == 0 {
+				if vi > 0 && prof.Cache.PlanHits == 0 {
 					t.Fatalf("variant %d must hit the plan cache", vi)
 				}
 
@@ -279,7 +279,7 @@ func TestExecQueryCacheProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof, ok := res.Profile()
-	if !ok || prof.PlanCacheHits != 0 || prof.AnswerCacheHits != 0 {
+	if !ok || prof.Cache.PlanHits != 0 || prof.Cache.AnswerHits != 0 {
 		t.Fatalf("cold run profile = %+v/%v, want no cache hits", prof, ok)
 	}
 
@@ -288,7 +288,7 @@ func TestExecQueryCacheProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof, _ = res.Profile()
-	if prof.PlanCacheHits != 1 || prof.AnswerCacheHits != 1 {
+	if prof.Cache.PlanHits != 1 || prof.Cache.AnswerHits != 1 {
 		t.Fatalf("hot run profile = %+v, want plan and answer hits", prof)
 	}
 
@@ -299,7 +299,7 @@ func TestExecQueryCacheProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof, _ = res.Profile()
-	if prof.PlanCacheHits != 1 || prof.AnswerCacheHits != 0 {
+	if prof.Cache.PlanHits != 1 || prof.Cache.AnswerHits != 0 {
 		t.Fatalf("post-invalidation profile = %+v, want a plan hit and live answers", prof)
 	}
 	if _, err := res.Rel(); err != nil {

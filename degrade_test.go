@@ -196,7 +196,7 @@ func TestFaultSmokePaperExamples(t *testing.T) {
 					}
 					var wantRows int
 					if len(kept.Rules) > 0 {
-						want, err := Answer(kept, ex.Patterns, paperInstance(ex.Patterns).MustCatalog(ex.Patterns))
+						want, err := execAnswer(kept, ex.Patterns, paperInstance(ex.Patterns).MustCatalog(ex.Patterns))
 						if err != nil {
 							t.Fatal(err)
 						}

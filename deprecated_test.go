@@ -1,0 +1,191 @@
+package ucqn
+
+// Wrapper-equivalence tests: every deprecated entry point must agree
+// with the Exec option that replaces it. This file is the only
+// first-party code (outside ucqn.go and extensions.go, where the
+// wrappers live) allowed to call the deprecated API — `make lint`
+// exempts it by name and fails on any other caller.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestExecDefaultMatchesAnswer(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := Answer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec = %s, want %s", got, want)
+	}
+	if res.Stream() != nil {
+		t.Error("Stream must be nil without WithStreaming")
+	}
+	if _, ok := res.Profile(); ok {
+		t.Error("Profile must be absent without WithProfile")
+	}
+}
+
+func TestExecParallelRules(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := AnswerParallel(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithParallelRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec parallel = %s, want %s", got, want)
+	}
+}
+
+func TestExecProfile(t *testing.T) {
+	q, ps, in := execFixture(t)
+	_, wantProf, err := AnswerProfiled(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := res.Profile()
+	if !ok {
+		t.Fatal("profile must be recorded with WithProfile")
+	}
+	if prof.TotalCalls() != wantProf.TotalCalls() || prof.TotalDeduped() != wantProf.TotalDeduped() {
+		t.Errorf("profile traffic %d/%d, want %d/%d",
+			prof.TotalCalls(), prof.TotalDeduped(), wantProf.TotalCalls(), wantProf.TotalDeduped())
+	}
+	if prof.Elapsed <= 0 {
+		t.Error("profile must carry wall-clock time")
+	}
+}
+
+func TestExecNaive(t *testing.T) {
+	q, _, in := execFixture(t)
+	want, err := AnswerNaive(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, nil, nil, WithNaive(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("Exec naive = %s, want %s", got, want)
+	}
+}
+
+func TestExecAnswerStar(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, ok := res.Star()
+	if !ok {
+		t.Fatal("Star must be populated with WithAnswerStar")
+	}
+	if star.Report() != want.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(want.Under) {
+		t.Errorf("Rel must be the underestimate: %s vs %s", rel, want.Under)
+	}
+}
+
+func TestExecStarUnderINDs(t *testing.T) {
+	q := MustParseQuery(`
+		Q(x) :- A(x).
+		Q(x) :- B(x, z), not C(z).
+	`)
+	ps := MustParsePatterns(`A^o B^oo C^i`)
+	inds := MustParseINDs(`B[1] < C[0]`)
+	in := NewInstance().MustAdd("A", "a").MustAdd("B", "b", "c").MustAdd("C", "c")
+	want, err := AnswerStarUnder(q, ps, in.MustCatalog(ps), inds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar(), WithINDs(inds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, ok := res.Star()
+	if !ok {
+		t.Fatal("Star must be populated")
+	}
+	if star.Report() != want.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
+	}
+}
+
+func TestExecImproveUnder(t *testing.T) {
+	// S(y, x) is unanswerable as written (y has no binder), so PLAN*
+	// under-approximates; domain enumeration re-admits it through dom(y).
+	q := MustParseQuery(`Q(x) :- R(x), S(y, x).`)
+	ps := MustParsePatterns(`R^o S^io`)
+	in := NewInstance().MustAdd("R", "a").MustAdd("R", "b").MustAdd("S", "a", "b")
+
+	star, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRel, wantRules, wantDom, err := ImproveUnder(star, ps, in.MustCatalog(ps), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithImproveUnder(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := res.Rel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(wantRel) {
+		t.Errorf("improved = %s, want %s", rel, wantRel)
+	}
+	rules, dom, ok := res.Improved()
+	if !ok {
+		t.Fatal("Improved must be populated with WithImproveUnder")
+	}
+	if rules.String() != wantRules.String() {
+		t.Errorf("improved rules = %s, want %s", rules, wantRules)
+	}
+	if dom.Calls != wantDom.Calls || len(dom.Values) != len(wantDom.Values) {
+		t.Errorf("dom = %+v, want %+v", dom, wantDom)
+	}
+	if _, ok := res.Star(); !ok {
+		t.Error("WithImproveUnder implies the ANSWER* report")
+	}
+}

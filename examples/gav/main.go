@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,10 +68,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	star, err := ucqn.RunAnswerStar(unfolded, ps, cat)
+	starRes, err := ucqn.Exec(context.Background(), unfolded, ps, cat, ucqn.WithAnswerStar())
 	if err != nil {
 		log.Fatal(err)
 	}
+	star, _ := starRes.Star()
 	fmt.Println(star.Report())
 
 	// Integrity constraints: every consented subject has been screened
@@ -99,7 +101,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := ucqn.Answer(v.q, ps, cat2); err != nil {
+		if _, err := ucqn.Exec(context.Background(), v.q, ps, cat2); err != nil {
 			log.Fatal(err)
 		}
 		st := cat2.TotalStats()

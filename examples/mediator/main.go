@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,14 +35,19 @@ func runScenario(name string, load func(*ucqn.Instance)) ucqn.AnswerStar {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ucqn.RunAnswerStar(q, ps, cat)
+	starRes, err := ucqn.Exec(context.Background(), q, ps, cat, ucqn.WithAnswerStar())
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, _ := starRes.Star()
 	fmt.Println(res.Report())
 
 	// Compare with the (normally unobservable) ground truth.
-	truth, err := ucqn.AnswerNaive(q, in)
+	naiveRes, err := ucqn.Exec(context.Background(), q, nil, nil, ucqn.WithNaive(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := naiveRes.Rel()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,15 +102,17 @@ func main() {
 		log.Fatal(err)
 	}
 	ps2 := ucqn.MustParsePatterns(patterns)
-	star, err := ucqn.RunAnswerStar(q, ps2, cat)
+	ires, err := ucqn.Exec(context.Background(), q, ps2, cat, ucqn.WithImproveUnder(100000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	star, _ := ires.Star()
 	fmt.Printf("plain underestimate: %d tuples\n", star.Under.Len())
-	improved, rules, dom, err := ucqn.ImproveUnder(star, ps2, cat, 100000)
+	improved, err := ires.Rel()
 	if err != nil {
 		log.Fatal(err)
 	}
+	rules, dom, _ := ires.Improved()
 	fmt.Printf("dom(x) enumerated %d values with %d calls\n", len(dom.Values), dom.Calls)
 	for _, r := range rules.Rules {
 		fmt.Printf("improved rule: %s\n", r)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers, err := ucqn.Answer(ordered, ps, cat)
+	eres, err := ucqn.Exec(context.Background(), ordered, ps, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := eres.Rel()
 	if err != nil {
 		log.Fatal(err)
 	}

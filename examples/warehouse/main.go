@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,10 +73,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers, prof, err := ucqn.AnswerProfiled(ordered, ps, cat)
+	eres, err := ucqn.Exec(context.Background(), ordered, ps, cat, ucqn.WithProfile())
 	if err != nil {
 		log.Fatal(err)
 	}
+	answers, err := eres.Rel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _ := eres.Profile()
 	fmt.Printf("orders (%d):\n", answers.Len())
 	for i, row := range answers.Sorted() {
 		if i == 5 {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,10 +80,15 @@ func main() {
 	}
 
 	fmt.Println("call trace (first 8):")
-	answers, prof, err := ucqn.AnswerProfiled(q, ps, cat)
+	eres, err := ucqn.Exec(context.Background(), q, ps, cat, ucqn.WithProfile())
 	if err != nil {
 		log.Fatal(err)
 	}
+	answers, err := eres.Rel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _ := eres.Profile()
 	st := cat.TotalStats()
 	fmt.Printf("\nanswers (%d):\n%s\n", answers.Len(), answers)
 	fmt.Printf("\ntotal traffic: %d calls, %d tuples\n", st.Calls, st.TuplesReturned)

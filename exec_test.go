@@ -1,12 +1,14 @@
 package ucqn
 
-// Exec facade tests: every option agrees with the deprecated wrapper it
-// replaces, contradictory combinations are rejected up front, and the
-// streaming path drains to the same answers.
+// Exec facade tests: option plumbing, contradictory combinations
+// rejected up front, the streaming path draining to the same answers,
+// and the batch knobs. Equivalence with the deprecated wrappers is
+// covered in deprecated_test.go.
 
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -30,188 +32,83 @@ func execFixture(t *testing.T) (Query, *PatternSet, *Instance) {
 	return q, ps, in
 }
 
-func TestExecDefaultMatchesAnswer(t *testing.T) {
-	q, ps, in := execFixture(t)
-	want, err := Answer(q, ps, in.MustCatalog(ps))
+// execAnswer materializes q through the default Exec path — the
+// test-side replacement for the deprecated Answer wrapper.
+func execAnswer(q Query, ps *PatternSet, cat *Catalog) (*Rel, error) {
+	res, err := Exec(context.Background(), q, ps, cat)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := res.Rel()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !got.Equal(want) {
-		t.Errorf("Exec = %s, want %s", got, want)
-	}
-	if res.Stream() != nil {
-		t.Error("Stream must be nil without WithStreaming")
-	}
-	if _, ok := res.Profile(); ok {
-		t.Error("Profile must be absent without WithProfile")
-	}
+	return res.Rel()
 }
 
-func TestExecParallelRules(t *testing.T) {
-	q, ps, in := execFixture(t)
-	want, err := AnswerParallel(q, ps, in.MustCatalog(ps))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithParallelRules())
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := res.Rel()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !got.Equal(want) {
-		t.Errorf("Exec parallel = %s, want %s", got, want)
-	}
-}
-
-func TestExecProfile(t *testing.T) {
-	q, ps, in := execFixture(t)
-	_, wantProf, err := AnswerProfiled(q, ps, in.MustCatalog(ps))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithProfile())
-	if err != nil {
-		t.Fatal(err)
-	}
-	prof, ok := res.Profile()
-	if !ok {
-		t.Fatal("profile must be recorded with WithProfile")
-	}
-	if prof.TotalCalls() != wantProf.TotalCalls() || prof.TotalDeduped() != wantProf.TotalDeduped() {
-		t.Errorf("profile traffic %d/%d, want %d/%d",
-			prof.TotalCalls(), prof.TotalDeduped(), wantProf.TotalCalls(), wantProf.TotalDeduped())
-	}
-	if prof.Elapsed <= 0 {
-		t.Error("profile must carry wall-clock time")
-	}
-}
-
-func TestExecNaive(t *testing.T) {
-	q, _, in := execFixture(t)
-	want, err := AnswerNaive(q, in)
-	if err != nil {
-		t.Fatal(err)
-	}
+// execNaive evaluates q directly over the instance through Exec — the
+// test-side replacement for the deprecated AnswerNaive wrapper.
+func execNaive(q Query, in *Instance) (*Rel, error) {
 	res, err := Exec(context.Background(), q, nil, nil, WithNaive(in))
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	got, err := res.Rel()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !got.Equal(want) {
-		t.Errorf("Exec naive = %s, want %s", got, want)
-	}
+	return res.Rel()
 }
 
-func TestExecAnswerStar(t *testing.T) {
-	q, ps, in := execFixture(t)
-	want, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+// execProfiled materializes q with per-step accounting through Exec —
+// the test-side replacement for the deprecated AnswerProfiled wrapper.
+func execProfiled(q Query, ps *PatternSet, cat *Catalog) (*Rel, ExecProfile, error) {
+	res, err := Exec(context.Background(), q, ps, cat, WithProfile())
 	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar())
-	if err != nil {
-		t.Fatal(err)
-	}
-	star, ok := res.Star()
-	if !ok {
-		t.Fatal("Star must be populated with WithAnswerStar")
-	}
-	if star.Report() != want.Report() {
-		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
+		return nil, ExecProfile{}, err
 	}
 	rel, err := res.Rel()
 	if err != nil {
-		t.Fatal(err)
+		return nil, ExecProfile{}, err
 	}
-	if !rel.Equal(want.Under) {
-		t.Errorf("Rel must be the underestimate: %s vs %s", rel, want.Under)
-	}
+	prof, _ := res.Profile()
+	return rel, prof, nil
 }
 
-func TestExecStarUnderINDs(t *testing.T) {
-	q := MustParseQuery(`
-		Q(x) :- A(x).
-		Q(x) :- B(x, z), not C(z).
-	`)
-	ps := MustParsePatterns(`A^o B^oo C^i`)
-	inds := MustParseINDs(`B[1] < C[0]`)
-	in := NewInstance().MustAdd("A", "a").MustAdd("B", "b", "c").MustAdd("C", "c")
-	want, err := AnswerStarUnder(q, ps, in.MustCatalog(ps), inds)
+// execStar runs the full ANSWER* algorithm through Exec — the
+// test-side replacement for the deprecated RunAnswerStar wrapper.
+func execStar(q Query, ps *PatternSet, cat *Catalog) (AnswerStar, error) {
+	res, err := Exec(context.Background(), q, ps, cat, WithAnswerStar())
 	if err != nil {
-		t.Fatal(err)
+		return AnswerStar{}, err
 	}
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithAnswerStar(), WithINDs(inds))
-	if err != nil {
-		t.Fatal(err)
-	}
-	star, ok := res.Star()
-	if !ok {
-		t.Fatal("Star must be populated")
-	}
-	if star.Report() != want.Report() {
-		t.Errorf("reports differ:\n%s\nvs\n%s", star.Report(), want.Report())
-	}
+	star, _ := res.Star()
+	return star, nil
 }
 
-func TestExecImproveUnder(t *testing.T) {
-	// S(y, x) is unanswerable as written (y has no binder), so PLAN*
-	// under-approximates; domain enumeration re-admits it through dom(y).
-	q := MustParseQuery(`Q(x) :- R(x), S(y, x).`)
-	ps := MustParsePatterns(`R^o S^io`)
-	in := NewInstance().MustAdd("R", "a").MustAdd("R", "b").MustAdd("S", "a", "b")
-
-	star, err := RunAnswerStar(q, ps, in.MustCatalog(ps))
+// execStarUnder is ANSWER* under inclusion dependencies through Exec —
+// the test-side replacement for the deprecated AnswerStarUnder wrapper.
+func execStarUnder(q Query, ps *PatternSet, cat *Catalog, inds INDSet) (AnswerStar, error) {
+	res, err := Exec(context.Background(), q, ps, cat, WithAnswerStar(), WithINDs(inds))
 	if err != nil {
-		t.Fatal(err)
+		return AnswerStar{}, err
 	}
-	wantRel, wantRules, wantDom, err := ImproveUnder(star, ps, in.MustCatalog(ps), 100)
-	if err != nil {
-		t.Fatal(err)
-	}
+	star, _ := res.Star()
+	return star, nil
+}
 
-	res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps), WithImproveUnder(100))
+// execImproveUnder is ANSWER* plus domain-enumeration improvement
+// through Exec — the test-side replacement for the deprecated
+// RunAnswerStar + ImproveUnder pair.
+func execImproveUnder(q Query, ps *PatternSet, cat *Catalog, maxCalls int) (*Rel, AnswerStar, DomResult, error) {
+	res, err := Exec(context.Background(), q, ps, cat, WithImproveUnder(maxCalls))
 	if err != nil {
-		t.Fatal(err)
+		return nil, AnswerStar{}, DomResult{}, err
 	}
 	rel, err := res.Rel()
 	if err != nil {
-		t.Fatal(err)
+		return nil, AnswerStar{}, DomResult{}, err
 	}
-	if !rel.Equal(wantRel) {
-		t.Errorf("improved = %s, want %s", rel, wantRel)
-	}
-	rules, dom, ok := res.Improved()
-	if !ok {
-		t.Fatal("Improved must be populated with WithImproveUnder")
-	}
-	if rules.String() != wantRules.String() {
-		t.Errorf("improved rules = %s, want %s", rules, wantRules)
-	}
-	if dom.Calls != wantDom.Calls || len(dom.Values) != len(wantDom.Values) {
-		t.Errorf("dom = %+v, want %+v", dom, wantDom)
-	}
-	if _, ok := res.Star(); !ok {
-		t.Error("WithImproveUnder implies the ANSWER* report")
-	}
+	star, _ := res.Star()
+	_, dom, _ := res.Improved()
+	return rel, star, dom, nil
 }
 
 func TestExecStreaming(t *testing.T) {
 	q, ps, in := execFixture(t)
-	want, err := Answer(q, ps, in.MustCatalog(ps))
+	want, err := execAnswer(q, ps, in.MustCatalog(ps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +152,7 @@ func TestExecStreaming(t *testing.T) {
 func TestExecWithStats(t *testing.T) {
 	q, ps, in := execFixture(t)
 	st := StatsFromCardinalities(map[string]int{"R": 40, "T": 5, "S": 2, "L": 1})
-	want, err := Answer(q, ps, in.MustCatalog(ps))
+	want, err := execAnswer(q, ps, in.MustCatalog(ps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +173,7 @@ func TestExecWithRuntimeKnobs(t *testing.T) {
 	q, ps, in := execFixture(t)
 	rt := NewRuntime()
 	rt.BatchSize, rt.StageBuffer = 4, 2
-	want, err := Answer(q, ps, in.MustCatalog(ps))
+	want, err := execAnswer(q, ps, in.MustCatalog(ps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,6 +190,58 @@ func TestExecWithRuntimeKnobs(t *testing.T) {
 	}
 }
 
+func TestExecWithBatchSize(t *testing.T) {
+	q, ps, in := execFixture(t)
+	want, err := execAnswer(q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 1024} {
+		res, err := Exec(context.Background(), q, ps, in.MustCatalog(ps),
+			WithStreaming(), WithBatchSize(n), WithStageBuffer(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Rel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("WithBatchSize(%d) = %s, want %s", n, got, want)
+		}
+	}
+	// The options clone the runtime: a shared runtime is not mutated.
+	rt := NewRuntime()
+	if _, err := Exec(context.Background(), q, ps, in.MustCatalog(ps),
+		WithRuntime(rt), WithBatchSize(7), WithStageBuffer(3)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.BatchSize != 0 || rt.StageBuffer != 0 {
+		t.Errorf("WithBatchSize/WithStageBuffer mutated the shared runtime: %d/%d", rt.BatchSize, rt.StageBuffer)
+	}
+}
+
+func TestExecBatchOptionValidation(t *testing.T) {
+	q, ps, in := execFixture(t)
+	cat := in.MustCatalog(ps)
+	cases := []struct {
+		name string
+		opt  ExecOption
+		want string
+	}{
+		{"batch zero", WithBatchSize(0), "batch size must be at least 1"},
+		{"batch negative", WithBatchSize(-3), "batch size must be at least 1"},
+		{"buffer zero", WithStageBuffer(0), "stage buffer must be at least 1"},
+		{"buffer negative", WithStageBuffer(-1), "stage buffer must be at least 1"},
+	}
+	for _, c := range cases {
+		_, err := Exec(context.Background(), q, ps, cat, WithStreaming(), c.opt)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestExecRejectsContradictoryOptions(t *testing.T) {
 	q, ps, in := execFixture(t)
 	cat := in.MustCatalog(ps)
@@ -303,6 +252,7 @@ func TestExecRejectsContradictoryOptions(t *testing.T) {
 		{"naive+streaming", []ExecOption{WithNaive(in), WithStreaming()}},
 		{"naive+star", []ExecOption{WithNaive(in), WithAnswerStar()}},
 		{"naive+inds", []ExecOption{WithNaive(in), WithINDs(nil)}},
+		{"naive+batch", []ExecOption{WithNaive(in), WithBatchSize(8)}},
 		{"star+streaming", []ExecOption{WithAnswerStar(), WithStreaming()}},
 		{"star+parallel", []ExecOption{WithAnswerStar(), WithParallelRules()}},
 		{"profile+parallel materialized", []ExecOption{WithProfile(), WithParallelRules()}},

@@ -53,7 +53,7 @@ func TestAnswerProfiledFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel, prof, err := AnswerProfiled(MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`), ps, cat)
+	rel, prof, err := execProfiled(MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`), ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +81,11 @@ func TestContainmentSemanticSoundness(t *testing.T) {
 			if err := in.LoadFacts(g.Facts(s, 4, 3)); err != nil {
 				t.Fatal(err)
 			}
-			ap, err := AnswerNaive(p, in)
+			ap, err := execNaive(p, in)
 			if err != nil {
 				t.Fatal(err)
 			}
-			aq, err := AnswerNaive(q, in)
+			aq, err := execNaive(q, in)
 			if err != nil {
 				t.Fatal(err)
 			}

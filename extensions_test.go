@@ -136,7 +136,7 @@ func TestCachedCatalogFacade(t *testing.T) {
 	q := MustParseQuery(`Q(x, y) :- R(x, z), T(z, y).`)
 	// Within a query the runtime already dedupes the 20 identical T
 	// lookups into one call; the cache's job is repeats across queries.
-	ans, prof, err := AnswerProfiled(q, ps, cat)
+	ans, prof, err := execProfiled(q, ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestCachedCatalogFacade(t *testing.T) {
 	if prof.TotalDeduped() != 19 {
 		t.Errorf("deduped = %d, want 19 (20 identical T lookups)", prof.TotalDeduped())
 	}
-	if ans2, err := Answer(q, ps, cat); err != nil || ans2.Len() != 20 {
+	if ans2, err := execAnswer(q, ps, cat); err != nil || ans2.Len() != 20 {
 		t.Fatalf("second run: %v, %d answers", err, ans2.Len())
 	}
 	totalHits := 0

@@ -84,9 +84,9 @@ func TestBudgetMeterIdentityParallelHedged(t *testing.T) {
 			if err != nil {
 				t.Fatalf("MaxCalls=%d iter %d: %v", maxCalls, i, err)
 			}
-			if prof.BudgetSpent != prof.TotalCalls() {
+			if prof.Calls.BudgetSpent != prof.TotalCalls() {
 				t.Fatalf("MaxCalls=%d iter %d: BudgetSpent = %d but profile Calls = %d (dropped or double-counted legs; %d rules degraded)",
-					maxCalls, i, prof.BudgetSpent, prof.TotalCalls(), len(inc.Failed))
+					maxCalls, i, prof.Calls.BudgetSpent, prof.TotalCalls(), len(inc.Failed))
 			}
 			if len(inc.Failed) == 0 && rel.Len() != 1 {
 				t.Fatalf("MaxCalls=%d iter %d: answers = %s, want the single row", maxCalls, i, rel)
@@ -129,8 +129,8 @@ func TestBudgetShedModeAdmitsNoCalls(t *testing.T) {
 			t.Errorf("failure class = %s, want %s", f.Class, FailBudget)
 		}
 	}
-	if prof.BudgetSpent != 0 || prof.TotalCalls() != 0 {
-		t.Errorf("shed mode spent budget %d / calls %d, want 0/0", prof.BudgetSpent, prof.TotalCalls())
+	if prof.Calls.BudgetSpent != 0 || prof.TotalCalls() != 0 {
+		t.Errorf("shed mode spent budget %d / calls %d, want 0/0", prof.Calls.BudgetSpent, prof.TotalCalls())
 	}
 	if st := cat.TotalStats(); st.Calls != 0 {
 		t.Errorf("shed mode reached the catalog %d times, want 0", st.Calls)

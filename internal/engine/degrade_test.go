@@ -99,8 +99,8 @@ func TestEvalPartialDropsFailedDisjunct(t *testing.T) {
 			if !strings.Contains(inc.Report(), "underestimate") || !strings.Contains(inc.Report(), "S") {
 				t.Errorf("report must name the failure:\n%s", inc.Report())
 			}
-			if prof.DegradedRules != 1 {
-				t.Errorf("prof.DegradedRules = %d, want 1", prof.DegradedRules)
+			if prof.Degraded.Rules != 1 {
+				t.Errorf("prof.Degraded.Rules = %d, want 1", prof.Degraded.Rules)
 			}
 		})
 	}
@@ -226,8 +226,8 @@ func TestEvalPartialBudgetExhausted(t *testing.T) {
 	if len(inc.Failed) != 1 || inc.Failed[0].Class != FailBudget {
 		t.Fatalf("failures = %+v, want one budget-exhausted", inc.Failed)
 	}
-	if prof.BudgetSpent != 1 {
-		t.Errorf("prof.BudgetSpent = %d, want 1", prof.BudgetSpent)
+	if prof.Calls.BudgetSpent != 1 {
+		t.Errorf("prof.Calls.BudgetSpent = %d, want 1", prof.Calls.BudgetSpent)
 	}
 }
 

@@ -59,6 +59,7 @@ type EvalOpts struct {
 func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts) (*Rel, Profile, *Incompleteness, error) {
 	start := time.Now()
 	budget := rt.newBudget()
+	pool := newColPool()
 	var inc *Incompleteness
 	if o.Partial {
 		inc = &Incompleteness{}
@@ -67,9 +68,9 @@ func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *s
 	var prof Profile
 	var err error
 	if o.Parallel {
-		out, prof, err = rt.evalParallel(ctx, u, ps, cat, o, inc, budget)
+		out, prof, err = rt.evalParallel(ctx, u, ps, cat, o, inc, budget, pool)
 	} else {
-		out, prof, err = rt.evalSequential(ctx, u, ps, cat, o, inc, budget)
+		out, prof, err = rt.evalSequential(ctx, u, ps, cat, o, inc, budget, pool)
 	}
 	if err != nil {
 		return nil, Profile{}, nil, err
@@ -77,11 +78,13 @@ func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *s
 	prof.Elapsed = time.Since(start)
 	if inc != nil {
 		inc.RulesSurvived = inc.RulesTotal - len(inc.Failed)
-		prof.DegradedRules = len(inc.Failed)
+		prof.Degraded.Rules = len(inc.Failed)
 	}
 	if rt.Budget.active() {
-		prof.BudgetSpent = int(budget.spent.Load())
+		prof.Calls.BudgetSpent = int(budget.spent.Load())
 	}
+	prof.Batch = pool.batchProfile()
+	prof.finalize()
 	if o.Profile {
 		prof.snapshotReplicas(cat)
 	}
@@ -89,7 +92,7 @@ func (rt *Runtime) Eval(ctx context.Context, u logic.UCQ, ps *access.Set, cat *s
 }
 
 // evalSequential runs the rules in order, sharing one budget.
-func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState) (*Rel, Profile, error) {
+func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState, pool *colPool) (*Rel, Profile, error) {
 	out := NewRel()
 	var prof Profile
 	for i, rule := range u.Rules {
@@ -111,7 +114,7 @@ func (rt *Runtime) evalSequential(ctx context.Context, u logic.UCQ, ps *access.S
 		if inc != nil || o.OnRuleDone != nil {
 			target = NewRel()
 		}
-		if err := rt.answerRule(ctx, rule, ps, cat, target, rp, budget); err != nil {
+		if err := rt.answerRule(ctx, rule, ps, cat, target, rp, budget, pool); err != nil {
 			if inc == nil || !degradable(ctx, err) {
 				return nil, Profile{}, err
 			}
@@ -155,12 +158,12 @@ func (rt *Runtime) Answer(ctx context.Context, u logic.UCQ, ps *access.Set, cat 
 
 // answerRule executes one rule and adds its answers to out. When prof is
 // non-nil, per-step accounting is recorded into it.
-func (rt *Runtime) answerRule(ctx context.Context, q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState) error {
+func (rt *Runtime) answerRule(ctx context.Context, q logic.CQ, ps *access.Set, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState, pool *colPool) error {
 	steps, ok := access.AdornInOrder(q.Body, ps)
 	if !ok {
 		return fmt.Errorf("%w: %s", errNotExecutable, q)
 	}
-	return rt.runSteps(ctx, q, steps, cat, out, prof, budget)
+	return rt.runSteps(ctx, q, steps, cat, out, prof, budget, pool)
 }
 
 // AnswerSteps executes an explicitly adorned plan for one rule — the
@@ -176,16 +179,29 @@ func (rt *Runtime) AnswerSteps(ctx context.Context, q logic.CQ, steps []access.A
 	if q.False {
 		return out, nil
 	}
-	if err := rt.runSteps(ctx, q, steps, cat, out, nil, rt.newBudget()); err != nil {
+	if err := rt.runSteps(ctx, q, steps, cat, out, nil, rt.newBudget(), newColPool()); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// runSteps drives the nested-loop execution of an adorned plan. Within a
-// step the runtime batches the bindings' source calls (see applyStep);
-// across steps the binding set flows left to right as in the paper.
-func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState) error {
+// runSteps drives one rule's materializing execution: the columnar
+// batch evaluator by default (runStepsCol), or the historical
+// per-binding map loop when Runtime.MapEval is set. The two are
+// observationally identical; the map path is kept as the reference for
+// differential tests and as the allocation baseline for benchmarks.
+func (rt *Runtime) runSteps(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState, pool *colPool) error {
+	if rt.MapEval {
+		return rt.runStepsMap(ctx, q, steps, cat, out, prof, budget)
+	}
+	return rt.runStepsCol(ctx, q, steps, cat, out, prof, budget, pool)
+}
+
+// runStepsMap drives the nested-loop map-based execution of an adorned
+// plan. Within a step the runtime batches the bindings' source calls
+// (see applyStep); across steps the binding set flows left to right as
+// in the paper.
+func (rt *Runtime) runStepsMap(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState) error {
 	ruleStart := time.Now()
 	bindings := []binding{{}}
 	for _, step := range steps {

@@ -77,8 +77,8 @@ func TestHedgeBackupWinsOverHungPrimary(t *testing.T) {
 		t.Errorf("Retries = %d: a hedged race is one round, not a retry", sp.Retries)
 	}
 	// Every launched leg was charged exactly once.
-	if prof.BudgetSpent != 2 {
-		t.Errorf("BudgetSpent = %d, want 2 (one per launched leg)", prof.BudgetSpent)
+	if prof.Calls.BudgetSpent != 2 {
+		t.Errorf("BudgetSpent = %d, want 2 (one per launched leg)", prof.Calls.BudgetSpent)
 	}
 	// The cancelled loser never reached its table and never entered the
 	// replica's health window or breaker state.
@@ -194,8 +194,8 @@ func TestHedgeDeniedByBudgetStillSucceeds(t *testing.T) {
 	if ans.Len() != 1 {
 		t.Errorf("answers = %d, want 1", ans.Len())
 	}
-	if prof.BudgetSpent != 1 {
-		t.Errorf("BudgetSpent = %d, want 1 (denied hedge never charged)", prof.BudgetSpent)
+	if prof.Calls.BudgetSpent != 1 {
+		t.Errorf("BudgetSpent = %d, want 1 (denied hedge never charged)", prof.Calls.BudgetSpent)
 	}
 	if got := prof.HedgedCalls(); got != 0 {
 		t.Errorf("HedgedCalls = %d, want 0", got)

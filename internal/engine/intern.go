@@ -1,0 +1,97 @@
+package engine
+
+// Process-wide value interning for columnar evaluation. Every constant
+// that flows through a plan — source tuple values, call inputs, compile
+// constants — maps to a dense uint32 ID, so binding batches hold machine
+// words instead of string headers and join keys compare in one
+// instruction. The table is append-only for the process lifetime:
+// source values recur across queries (that is what makes the semantic
+// caches pay off), so a per-execution table would re-intern the same
+// working set on every request. Identity of *data* versions is not the
+// interner's job — that is Catalog.Generation and Catalog.ID(); the
+// interner only canonicalizes value bytes, and two catalogs sharing the
+// string "paris" sharing an ID is correct, not a collision.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Reverse-table chunking: IDs index fixed-size chunks, so growing the
+// table never moves published strings and str() is two loads.
+const (
+	internChunkShift = 10
+	internChunkSize  = 1 << internChunkShift
+	internChunkMask  = internChunkSize - 1
+)
+
+// valueInterner maps strings to dense uint32 IDs and back. id() is
+// lock-free for already-interned values (the hot path: a steady-state
+// workload interns almost nothing); misses take a mutex to append.
+// str() is always lock-free.
+type valueInterner struct {
+	ids sync.Map // string -> uint32
+
+	mu     sync.Mutex // guards appends: n and chunk writes
+	n      uint32     // next ID to assign
+	chunks atomic.Pointer[[][]string]
+}
+
+func newValueInterner() *valueInterner {
+	in := &valueInterner{}
+	chunks := make([][]string, 0, 8)
+	in.chunks.Store(&chunks)
+	return in
+}
+
+// interned is the process-wide interner backing columnar evaluation.
+var interned = newValueInterner()
+
+// id returns the ID for s, assigning a fresh one on first sight, and
+// reports whether the value was new. Any byte string round-trips,
+// including "" and non-UTF-8 data: the interner stores values verbatim.
+func (in *valueInterner) id(s string) (uint32, bool) {
+	if v, ok := in.ids.Load(s); ok {
+		return v.(uint32), false
+	}
+	in.mu.Lock()
+	if v, ok := in.ids.Load(s); ok {
+		in.mu.Unlock()
+		return v.(uint32), false
+	}
+	id := in.n
+	if id == math.MaxUint32 {
+		in.mu.Unlock()
+		panic("engine: value interner overflow: 2^32-1 distinct values")
+	}
+	chunks := *in.chunks.Load()
+	if ci := int(id >> internChunkShift); ci == len(chunks) {
+		grown := make([][]string, ci+1)
+		copy(grown, chunks)
+		grown[ci] = make([]string, internChunkSize)
+		in.chunks.Store(&grown)
+		chunks = grown
+	}
+	chunks[id>>internChunkShift][id&internChunkMask] = s
+	in.n = id + 1
+	// Publish last: a reader can only learn this ID through the map (or
+	// through data derived after this Store), so the chunk write above
+	// happens-before every str(id).
+	in.ids.Store(s, id)
+	in.mu.Unlock()
+	return id, true
+}
+
+// str returns the string for an ID previously assigned by id. IDs are
+// never recycled, so the result is valid for the process lifetime.
+func (in *valueInterner) str(id uint32) string {
+	return (*in.chunks.Load())[id>>internChunkShift][id&internChunkMask]
+}
+
+// size returns the number of interned values (for tests).
+func (in *valueInterner) size() uint32 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}

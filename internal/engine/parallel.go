@@ -32,7 +32,7 @@ func (rt *Runtime) AnswerParallel(ctx context.Context, u logic.UCQ, ps *access.S
 // failure cancels the rules still in flight; in partial-results mode a
 // degradable failure is recorded into inc and the siblings keep running
 // (only caller cancellation and planning errors abort).
-func (rt *Runtime) evalParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState) (*Rel, Profile, error) {
+func (rt *Runtime) evalParallel(ctx context.Context, u logic.UCQ, ps *access.Set, cat *sources.Catalog, o EvalOpts, inc *Incompleteness, budget *budgetState, pool *colPool) (*Rel, Profile, error) {
 	type ruleResult struct {
 		rel *Rel
 		err error
@@ -64,7 +64,7 @@ func (rt *Runtime) evalParallel(ctx context.Context, u logic.UCQ, ps *access.Set
 				rp = &rps[i]
 			}
 			rel := NewRel()
-			err := rt.answerRule(cctx, rule, ps, cat, rel, rp, budget)
+			err := rt.answerRule(cctx, rule, ps, cat, rel, rp, budget, pool)
 			if err != nil && !(inc != nil && degradable(cctx, err)) {
 				cancel() // stop the rules still in flight
 			}

@@ -81,7 +81,73 @@ type RuleProfile struct {
 	PeakBindings int
 }
 
-// Profile is the execution profile of a whole plan.
+// CallsProfile groups an execution's aggregated source-call traffic.
+// The per-step counters in Rules are the ground truth; these totals are
+// derived from them when the execution finishes (finalize), except
+// BudgetSpent, which the budget meter fills directly.
+type CallsProfile struct {
+	// Total is the number of call attempts issued, retries and hedged
+	// legs included (the sum of StepProfile.Calls).
+	Total int
+	// Deduped counts bindings served by another binding's call.
+	Deduped int
+	// Retries counts retry rounds beyond the first per call.
+	Retries int
+	// Hedged counts timer-launched backup attempts; each is also in
+	// Total.
+	Hedged int
+	// HedgeWins counts calls whose winning rows came from a backup leg.
+	HedgeWins int
+	// MaxInFlight is the peak per-step call concurrency seen anywhere in
+	// the plan.
+	MaxInFlight int
+	// BudgetSpent is the number of call attempts charged against the
+	// runtime's per-query budget (0 when no budget is active).
+	BudgetSpent int
+}
+
+// CacheProfile groups the semantic query cache's contribution to an
+// execution.
+type CacheProfile struct {
+	// PlanHits counts plan-cache hits (0 or 1 per Exec; an int so
+	// profiles can be summed across requests).
+	PlanHits int
+	// AnswerHits counts full answer-cache hits: the whole result was
+	// served from cached rows with no live evaluation.
+	AnswerHits int
+	// PartialReuseRules counts the disjuncts whose rows were reused from
+	// the answer cache while the remaining disjuncts ran live.
+	PartialReuseRules int
+	// Evictions counts query-cache entries (plans or answers) evicted
+	// while serving this execution.
+	Evictions int
+}
+
+// DegradedProfile groups the partial-results accounting.
+type DegradedProfile struct {
+	// Rules counts the disjuncts dropped in partial-results mode (0 in
+	// strict mode or on a complete run).
+	Rules int
+}
+
+// BatchProfile groups the columnar evaluator's batch accounting.
+type BatchProfile struct {
+	// BatchesProcessed counts the binding batches run through step
+	// application (materialized evaluation processes one batch per
+	// step; streamed pipelines many smaller ones).
+	BatchesProcessed int
+	// InternedValues counts source-tuple values first interned during
+	// this execution (steady-state workloads re-see their working set,
+	// so this trends to zero).
+	InternedValues int
+	// ArenaReuses counts column buffers served from the execution's
+	// recycling pool instead of fresh allocations.
+	ArenaReuses int
+}
+
+// Profile is the execution profile of a whole plan. Counter groups:
+// Calls (source traffic), Cache (semantic query cache), Degraded
+// (partial results), Batch (columnar evaluator).
 type Profile struct {
 	Rules []RuleProfile
 	// Elapsed is the whole plan's wall-clock time.
@@ -90,26 +156,15 @@ type Profile struct {
 	// tuple reaching the caller. Only streamed runs fill it; a
 	// materializing run delivers nothing before Elapsed.
 	TimeToFirst time.Duration
-	// BudgetSpent is the number of call attempts charged against the
-	// runtime's per-query budget (0 when no budget is active).
-	BudgetSpent int
-	// DegradedRules counts the disjuncts dropped in partial-results mode
-	// (0 in strict mode or on a complete run).
-	DegradedRules int
 
-	// PlanCacheHits counts plan-cache hits the semantic query cache
-	// served this execution (0 or 1 per Exec; kept an int so profiles
-	// can be summed across requests).
-	PlanCacheHits int
-	// AnswerCacheHits counts full answer-cache hits: the whole result
-	// was served from cached rows with no live evaluation.
-	AnswerCacheHits int
-	// PartialReuseRules counts the disjuncts whose rows were reused from
-	// the answer cache while the remaining disjuncts ran live.
-	PartialReuseRules int
-	// CacheEvictions counts query-cache entries (plans or answers)
-	// evicted while serving this execution.
-	CacheEvictions int
+	// Calls is the aggregated source-call traffic.
+	Calls CallsProfile
+	// Cache is the semantic query cache's contribution.
+	Cache CacheProfile
+	// Degraded is the partial-results accounting.
+	Degraded DegradedProfile
+	// Batch is the columnar evaluator's batch accounting.
+	Batch BatchProfile
 
 	// Replicas is the per-replica health and traffic breakdown of every
 	// replica-set source in the catalog, snapshotted when the execution
@@ -117,6 +172,46 @@ type Profile struct {
 	// catalog's lifetime, not per-execution).
 	Replicas []ReplicaSetProfile
 }
+
+// finalize derives the aggregated Calls counters from the per-step
+// profiles (BudgetSpent is set by the budget meter and preserved).
+// Every execution entry point calls it once the Rules slice is
+// complete.
+func (p *Profile) finalize() {
+	c := &p.Calls
+	c.Total, c.Deduped, c.Retries, c.Hedged, c.HedgeWins, c.MaxInFlight =
+		p.TotalCalls(), p.TotalDeduped(), p.TotalRetries(), p.HedgedCalls(), p.HedgeWins(), p.MaxInFlight()
+}
+
+// BudgetSpent returns Calls.BudgetSpent.
+//
+// Deprecated: read Calls.BudgetSpent.
+func (p Profile) BudgetSpent() int { return p.Calls.BudgetSpent }
+
+// DegradedRules returns Degraded.Rules.
+//
+// Deprecated: read Degraded.Rules.
+func (p Profile) DegradedRules() int { return p.Degraded.Rules }
+
+// PlanCacheHits returns Cache.PlanHits.
+//
+// Deprecated: read Cache.PlanHits.
+func (p Profile) PlanCacheHits() int { return p.Cache.PlanHits }
+
+// AnswerCacheHits returns Cache.AnswerHits.
+//
+// Deprecated: read Cache.AnswerHits.
+func (p Profile) AnswerCacheHits() int { return p.Cache.AnswerHits }
+
+// PartialReuseRules returns Cache.PartialReuseRules.
+//
+// Deprecated: read Cache.PartialReuseRules.
+func (p Profile) PartialReuseRules() int { return p.Cache.PartialReuseRules }
+
+// CacheEvictions returns Cache.Evictions.
+//
+// Deprecated: read Cache.Evictions.
+func (p Profile) CacheEvictions() int { return p.Cache.Evictions }
 
 // ReplicaSetProfile is the per-replica breakdown of one replicated
 // source.
@@ -261,15 +356,19 @@ func (p Profile) String() string {
 	if p.TimeToFirst > 0 {
 		fmt.Fprintf(&b, "first tuple after %s\n", p.TimeToFirst.Round(time.Microsecond))
 	}
-	if p.DegradedRules > 0 {
-		fmt.Fprintf(&b, "degraded: %d disjunct(s) dropped\n", p.DegradedRules)
+	if p.Degraded.Rules > 0 {
+		fmt.Fprintf(&b, "degraded: %d disjunct(s) dropped\n", p.Degraded.Rules)
 	}
-	if p.BudgetSpent > 0 {
-		fmt.Fprintf(&b, "budget spent: %d call(s)\n", p.BudgetSpent)
+	if p.Calls.BudgetSpent > 0 {
+		fmt.Fprintf(&b, "budget spent: %d call(s)\n", p.Calls.BudgetSpent)
 	}
-	if p.PlanCacheHits > 0 || p.AnswerCacheHits > 0 || p.PartialReuseRules > 0 || p.CacheEvictions > 0 {
+	if c := p.Cache; c.PlanHits > 0 || c.AnswerHits > 0 || c.PartialReuseRules > 0 || c.Evictions > 0 {
 		fmt.Fprintf(&b, "cache: plan hits=%d answer hits=%d reused rules=%d evictions=%d\n",
-			p.PlanCacheHits, p.AnswerCacheHits, p.PartialReuseRules, p.CacheEvictions)
+			c.PlanHits, c.AnswerHits, c.PartialReuseRules, c.Evictions)
+	}
+	if p.Batch.BatchesProcessed > 0 {
+		fmt.Fprintf(&b, "batches: %d processed, %d values interned, %d buffers reused\n",
+			p.Batch.BatchesProcessed, p.Batch.InternedValues, p.Batch.ArenaReuses)
 	}
 	if h := p.HedgedCalls(); h > 0 {
 		fmt.Fprintf(&b, "hedged: %d backup call(s), %d won\n", h, p.HedgeWins())

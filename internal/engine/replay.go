@@ -78,10 +78,10 @@ func ComposeStream(pre []Row, inner *Stream, extra Profile, reusedRules int, rem
 		if p, ok := inner.Profile(); ok {
 			cache := prof
 			prof = p
-			prof.PlanCacheHits += cache.PlanCacheHits
-			prof.AnswerCacheHits += cache.AnswerCacheHits
-			prof.PartialReuseRules += cache.PartialReuseRules
-			prof.CacheEvictions += cache.CacheEvictions
+			prof.Cache.PlanHits += cache.Cache.PlanHits
+			prof.Cache.AnswerHits += cache.Cache.AnswerHits
+			prof.Cache.PartialReuseRules += cache.Cache.PartialReuseRules
+			prof.Cache.Evictions += cache.Cache.Evictions
 		}
 		var inc *Incompleteness
 		if in, ok := inner.Incomplete(); ok {

@@ -163,6 +163,13 @@ type Runtime struct {
 	// HedgePolicy). Sources that are not replica sets are unaffected.
 	// The zero value disables hedging.
 	Hedge HedgePolicy
+	// MapEval selects the historical map-based materializing evaluator
+	// (one map[string]string per binding) instead of the columnar batch
+	// evaluator. The two are observationally identical — same answers in
+	// the same order, same source calls — so MapEval exists only as the
+	// differential-testing reference and allocation baseline; streamed
+	// pipelines are always columnar.
+	MapEval bool
 
 	mu   sync.Mutex
 	sems map[string]chan struct{}
@@ -182,6 +189,7 @@ func (rt *Runtime) Clone() *Runtime {
 		CallTimeout: rt.CallTimeout,
 		Budget:      rt.Budget,
 		Hedge:       rt.Hedge,
+		MapEval:     rt.MapEval,
 	}
 }
 
@@ -484,6 +492,11 @@ type stepCall struct {
 	rows   []sources.Tuple
 	stats  callStats
 	err    error
+	// join is the columnar path's per-call hash-join side (tuples
+	// interned, filtered, grouped by bound-position key), built once per
+	// call and carried across batches by a streamed stage's memo. The
+	// map path leaves it nil.
+	join *callJoin
 }
 
 // callError attributes a failed step call to the source it targeted, so

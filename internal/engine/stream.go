@@ -4,17 +4,18 @@ package engine
 // step k over the *whole* binding set before step k+1 issues its first
 // source call, so a slow or high-fanout early step delays every answer
 // to the end of the plan. Here each rule's plan steps become pipeline
-// stages connected by bounded channels carrying binding batches: step
-// k+1 calls its source for the first batches while step k is still
-// fetching later ones, and head tuples reach the caller as soon as the
-// last stage produces them. Each stage still runs through the Runtime —
-// per-step call deduplication (extended across batches by a per-stage
-// memo), the bounded worker pool, the per-source in-flight cap, and the
-// retry policy all apply per stage — so a streamed run issues exactly
-// the calls a materialized run would, and the drained answer set is
-// byte-identical: stages are single goroutines consuming batches in
-// order, and applyStep fans results back out in binding order, so rows
-// are emitted in the same order materializing evaluation would add them.
+// stages connected by bounded channels carrying columnar binding
+// batches (colBatch; see columnar.go): step k+1 calls its source for
+// the first batches while step k is still fetching later ones, and head
+// tuples reach the caller as soon as the last stage produces them. Each
+// stage still runs through the Runtime — per-step call deduplication
+// (extended across batches by a per-stage memo), the bounded worker
+// pool, the per-source in-flight cap, and the retry policy all apply
+// per stage — so a streamed run issues exactly the calls a materialized
+// run would, and the drained answer set is byte-identical: stages are
+// single goroutines consuming batches in order, and applyStepCol fans
+// results back out in input-row order, so rows are emitted in the same
+// order materializing evaluation would add them.
 //
 // Ordering and teardown guarantees:
 //
@@ -282,6 +283,7 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 		s.inc = &Incompleteness{RulesTotal: len(pipes)}
 	}
 	budget := rt.newBudget()
+	pool := newColPool()
 	s.wg.Add(1)
 	go func() { // driver
 		defer s.wg.Done()
@@ -293,7 +295,7 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 				wg.Add(1)
 				go func(i int, p rulePipeline) {
 					defer wg.Done()
-					rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, o.Partial)
+					rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, pool, o.Partial)
 				}(i, p)
 			}
 			wg.Wait()
@@ -302,7 +304,7 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 				if sctx.Err() != nil {
 					break
 				}
-				rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, o.Partial)
+				rt.runPipeline(sctx, p, cat, s, &s.prof.Rules[i], budget, pool, o.Partial)
 			}
 		}
 		// A context already dead before (or between) pipelines would
@@ -313,11 +315,13 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 		s.prof.TimeToFirst = s.ttf
 		if s.inc != nil {
 			s.inc.RulesSurvived = s.inc.RulesTotal - len(s.inc.Failed)
-			s.prof.DegradedRules = len(s.inc.Failed)
+			s.prof.Degraded.Rules = len(s.inc.Failed)
 		}
 		if rt.Budget.active() {
-			s.prof.BudgetSpent = int(budget.spent.Load())
+			s.prof.Calls.BudgetSpent = int(budget.spent.Load())
 		}
+		s.prof.Batch = pool.batchProfile()
+		s.prof.finalize()
 		s.prof.snapshotReplicas(cat)
 		s.mu.Unlock()
 	}()
@@ -325,20 +329,22 @@ func (rt *Runtime) StreamEval(ctx context.Context, u logic.UCQ, ps *access.Set, 
 }
 
 // runPipeline executes one rule as a chain of stage goroutines and
-// blocks until every stage has exited. Each stage owns one adorned
-// literal: it consumes binding batches from its inbound channel, applies
-// the step through the runtime (with a cross-batch dedup memo), and
-// forwards the surviving bindings in batches. The final stage turns
-// bindings into head rows and emits them.
+// blocks until every stage has exited. Each stage owns one compiled
+// plan step: it consumes columnar batches from its inbound channel,
+// applies the step through the runtime (with a cross-batch dedup memo),
+// and emits the surviving rows downstream in batches of at most
+// rt.batchSize(). The final stage materializes head rows from the
+// interned columns and emits them to the consumer.
 //
 // In partial-results mode the rule runs under its own child context: a
 // degradable failure cancels only this rule's stages (the stream stays
 // live for the remaining rules), the failure is recorded, and the head
 // rows — buffered until the pipeline completes — are discarded.
-func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources.Catalog, s *Stream, rp *RuleProfile, budget *budgetState, partial bool) {
+func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources.Catalog, s *Stream, rp *RuleProfile, budget *budgetState, pool *colPool, partial bool) {
 	ruleStart := time.Now()
 	rp.Rule = p.rule.Clone()
 	rp.Steps = make([]StepProfile, len(p.steps))
+	prog := compileRule(p.rule, p.steps)
 
 	// Stages run under rctx; in partial mode it is rule-local, so a
 	// dropped disjunct's teardown cannot touch the other rules.
@@ -374,69 +380,97 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 	}
 
 	depth := rt.stageBuffer()
-	chans := make([]chan []binding, len(p.steps)+1)
+	chans := make([]chan *colBatch, len(p.steps)+1)
 	for i := range chans {
-		chans[i] = make(chan []binding, depth)
+		chans[i] = make(chan *colBatch, depth)
 	}
 
 	var wg sync.WaitGroup
-	for i, step := range p.steps {
+	for i := range p.steps {
 		wg.Add(1)
-		go func(i int, step access.AdornedLiteral, in <-chan []binding, out chan<- []binding) {
+		go func(i int, in <-chan *colBatch, out chan<- *colBatch) {
 			defer wg.Done()
 			defer close(out)
 			sp := &rp.Steps[i]
-			sp.Step = step
+			sp.Step = prog.steps[i].step
 			var memo map[string]*stepCall
 			if rt.Dedup {
 				memo = map[string]*stepCall{}
 			}
+			// emit hands one output batch downstream, charging the
+			// resident gauge; ownership transfers to the next stage.
+			emit := func(b *colBatch) bool {
+				s.resident.add(int64(b.n))
+				select {
+				case out <- b:
+					return true
+				case <-rctx.Done():
+					s.resident.add(int64(-b.n))
+					pool.put(b)
+					return false
+				}
+			}
 			for batch := range in {
-				sp.BindingsIn += len(batch)
+				n := batch.n
+				sp.BindingsIn += n
 				t0 := time.Now()
-				next, err := rt.applyStep(rctx, step, cat, batch, sp, memo, budget)
+				emitted, stopped, err := rt.applyStepCol(rctx, prog, i, cat, batch, sp, memo, budget, pool, rt.batchSize(), emit)
 				sp.Elapsed += time.Since(t0)
+				pool.put(batch)
 				if err != nil {
 					fail(err)
-					s.resident.add(int64(-len(batch)))
+					s.resident.add(int64(-n))
 					return
 				}
-				sp.BindingsOut += len(next)
-				ok := forwardBatches(rctx, next, rt.batchSize(), out, &s.resident)
-				s.resident.add(int64(-len(batch)))
-				if !ok {
+				sp.BindingsOut += emitted
+				s.resident.add(int64(-n))
+				if stopped {
 					return
 				}
 			}
-		}(i, step, chans[i], chans[i+1])
+		}(i, chans[i], chans[i+1])
 	}
 
-	// Head stage: bindings → answer rows → consumer. In partial mode the
-	// rows are held back until the whole pipeline succeeded: a disjunct's
-	// answers are only certain once the disjunct is complete.
+	// Head stage: columnar batches → answer rows → consumer. Head
+	// strings materialize here, nowhere earlier. In partial mode the
+	// rows are held back until the whole pipeline succeeded: a
+	// disjunct's answers are only certain once the disjunct is complete.
 	var held [][]Row // partial mode only; owned by the head goroutine
 	wg.Add(1)
-	go func(in <-chan []binding) {
+	go func(in <-chan *colBatch) {
 		defer wg.Done()
+		// Duplicate head rows are still emitted (the stream surfaces the
+		// full fan-out), but each distinct row is materialized once and
+		// shared by ID-space key; consumers treat rows as read-only.
+		rowCache := map[string]Row{}
+		var keyBuf []byte
 		for batch := range in {
-			rows := make([]Row, 0, len(batch))
-			for _, b := range batch {
-				row, err := headRow(p.rule, b)
-				if err != nil {
-					fail(err)
-					s.resident.add(int64(-len(batch)))
-					return
+			n := batch.n
+			if n > 0 && prog.headErr != nil {
+				pool.put(batch)
+				fail(prog.headErr)
+				s.resident.add(int64(-n))
+				return
+			}
+			rows := make([]Row, 0, n)
+			for ri := 0; ri < n; ri++ {
+				keyBuf = prog.headKey(batch, ri, keyBuf[:0])
+				row, ok := rowCache[string(keyBuf)]
+				if !ok {
+					row = prog.headRowCol(batch, ri)
+					rowCache[string(keyBuf)] = row
 				}
 				rows = append(rows, row)
 			}
+			pool.put(batch)
 			if partial {
 				held = append(held, rows)
-				s.resident.add(int64(-len(batch)))
+				s.resident.add(int64(-n))
 				continue
 			}
 			rp.Answers += len(rows)
 			ok := s.emit(rctx, rows)
-			s.resident.add(int64(-len(batch)))
+			s.resident.add(int64(-n))
 			if !ok {
 				return
 			}
@@ -444,13 +478,15 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 	}(chans[len(p.steps)])
 
 	// Seed the pipeline with the single empty binding.
-	seed := []binding{{}}
+	seed := pool.getBatch(prog.numSlots)
+	seed.n = 1
 	s.resident.add(1)
 	select {
 	case chans[0] <- seed:
 	case <-rctx.Done():
 		fail(rctx.Err())
 		s.resident.add(-1)
+		pool.put(seed)
 	}
 	close(chans[0])
 
@@ -476,25 +512,4 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 	if err := ctx.Err(); err != nil {
 		s.fail(err)
 	}
-}
-
-// forwardBatches slices bindings into batches of at most size and sends
-// them downstream, charging the resident-bindings gauge. It returns
-// false when the pipeline is cancelled.
-func forwardBatches(ctx context.Context, bindings []binding, size int, out chan<- []binding, resident *inFlightGauge) bool {
-	for lo := 0; lo < len(bindings); lo += size {
-		hi := lo + size
-		if hi > len(bindings) {
-			hi = len(bindings)
-		}
-		batch := bindings[lo:hi:hi]
-		resident.add(int64(len(batch)))
-		select {
-		case out <- batch:
-		case <-ctx.Done():
-			resident.add(int64(-len(batch)))
-			return false
-		}
-	}
-	return true
 }

@@ -7,6 +7,7 @@ package server
 // load generator (cmd/ucqnload) all build on it.
 
 import (
+	"context"
 	"fmt"
 
 	ucqn "repro"
@@ -81,7 +82,11 @@ func PaperTenants(n int) []*TenantFixture {
 			Queries:  queries,
 		}
 		for _, src := range queries {
-			rel, err := ucqn.AnswerNaive(ucqn.MustParseQuery(src), in)
+			res, err := ucqn.Exec(context.Background(), ucqn.MustParseQuery(src), nil, nil, ucqn.WithNaive(in))
+			if err != nil {
+				panic(fmt.Sprintf("server fixture: naive ground truth for %q: %v", src, err))
+			}
+			rel, err := res.Rel()
 			if err != nil {
 				panic(fmt.Sprintf("server fixture: naive ground truth for %q: %v", src, err))
 			}

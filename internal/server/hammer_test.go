@@ -99,15 +99,15 @@ func TestMultiTenantHammer(t *testing.T) {
 					// Exact accounting: the per-request budget meter equals
 					// the profile's launched calls (no drops, no double
 					// counts) and respects the quota.
-					if prof.BudgetSpent != prof.TotalCalls() {
-						t.Errorf("tenant %d q%d: BudgetSpent = %d, profile calls = %d", ti, qi, prof.BudgetSpent, prof.TotalCalls())
+					if prof.Calls.BudgetSpent != prof.TotalCalls() {
+						t.Errorf("tenant %d q%d: BudgetSpent = %d, profile calls = %d", ti, qi, prof.Calls.BudgetSpent, prof.TotalCalls())
 						return
 					}
-					if prof.BudgetSpent > quota.MaxCalls {
-						t.Errorf("tenant %d q%d: spent %d calls over quota %d", ti, qi, prof.BudgetSpent, quota.MaxCalls)
+					if prof.Calls.BudgetSpent > quota.MaxCalls {
+						t.Errorf("tenant %d q%d: spent %d calls over quota %d", ti, qi, prof.Calls.BudgetSpent, quota.MaxCalls)
 						return
 					}
-					tenantCalls[ti].Add(int64(prof.BudgetSpent))
+					tenantCalls[ti].Add(int64(prof.Calls.BudgetSpent))
 				}
 			}(ti, w)
 		}

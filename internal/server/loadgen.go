@@ -236,15 +236,37 @@ func WriteBenchReport(path string, r *LoadReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ValidateBenchReport schema-checks a BENCH_E24.json document: required
-// keys present with the right JSON types and sane values. CI runs it on
-// the harness output so a drifting schema fails the build, not a later
-// comparison script.
+// ValidateBenchReport schema-checks a committed BENCH_*.json document:
+// required keys present with the right JSON types and sane values. It
+// dispatches on the experiment tag — "E24" is the serving load report
+// (LoadReport), "E25" the columnar evaluator report (ColumnarReport).
+// CI runs it on the harness outputs so a drifting schema fails the
+// build, not a later comparison script.
 func ValidateBenchReport(data []byte) error {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return fmt.Errorf("bench report: not a JSON object: %w", err)
 	}
+	tag, ok := raw["experiment"]
+	if !ok {
+		return fmt.Errorf("bench report: missing key %q", "experiment")
+	}
+	var exp string
+	if err := json.Unmarshal(tag, &exp); err != nil {
+		return fmt.Errorf("bench report: key %q: %w", "experiment", err)
+	}
+	switch exp {
+	case "E24":
+		return validateE24(raw)
+	case "E25":
+		return validateE25(raw)
+	default:
+		return fmt.Errorf("bench report: experiment = %q, want E24 or E25", exp)
+	}
+}
+
+// validateE24 schema-checks the serving load report.
+func validateE24(raw map[string]json.RawMessage) error {
 	checks := []struct {
 		key  string
 		into any
@@ -269,11 +291,6 @@ func ValidateBenchReport(data []byte) error {
 		if err := json.Unmarshal(v, c.into); err != nil {
 			return fmt.Errorf("bench report: key %q: %w", c.key, err)
 		}
-	}
-	var exp string
-	_ = json.Unmarshal(raw["experiment"], &exp)
-	if exp != "E24" {
-		return fmt.Errorf("bench report: experiment = %q, want E24", exp)
 	}
 	var reqs int
 	_ = json.Unmarshal(raw["requests"], &reqs)

@@ -294,8 +294,8 @@ func (s *Server) Query(ctx context.Context, tenant, query string) (*Response, er
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if prof, ok := res.Profile(); ok {
-		resp.Calls = prof.BudgetSpent
-		t.calls.Add(int64(prof.BudgetSpent))
+		resp.Calls = prof.Calls.BudgetSpent
+		t.calls.Add(int64(prof.Calls.BudgetSpent))
 	}
 	if inc, ok := res.Incompleteness(); ok {
 		resp.Incompleteness = wireIncompleteness(inc)

@@ -73,11 +73,11 @@ func TestFullPipeline(t *testing.T) {
 	if !ok {
 		t.Fatal("plan must be orderable")
 	}
-	answers, prof, err := AnswerProfiled(ordered, ps, cat)
+	answers, prof, err := execProfiled(ordered, ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth, err := AnswerNaive(compiled, in)
+	truth, err := execNaive(compiled, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	// ANSWER* under constraints certifies completeness.
-	star, err := AnswerStarUnder(compiled, ps, cat, inds)
+	star, err := execStarUnder(compiled, ps, cat, inds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,7 +44,7 @@ func slowCatalog(t testing.TB, ps *PatternSet, d time.Duration) *Catalog {
 // fault-free sources.
 func healthyAnswer(t *testing.T, under Query, ps *PatternSet) *Rel {
 	t.Helper()
-	rel, err := Answer(under, ps, paperInstance(ps).MustCatalog(ps))
+	rel, err := execAnswer(under, ps, paperInstance(ps).MustCatalog(ps))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Answer(ordered, ps, cat)
+	got, err := execAnswer(ordered, ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,14 +133,14 @@ func TestAnswerStarFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunAnswerStar(q, ps, cat)
+	res, err := execStar(q, ps, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Complete {
 		t.Error("must not be complete (R/S mismatch)")
 	}
-	improved, _, dom, err := ImproveUnder(res, ps, cat, 10_000)
+	improved, _, dom, err := execImproveUnder(q, ps, cat, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
