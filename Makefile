@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke paperbench check
+.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke persist-smoke paperbench check
 
 all: check
 
@@ -85,7 +85,19 @@ serve-smoke:
 	$(GO) run ./cmd/ucqnload -boot -users 8 -duration 2s -quota 50 \
 		-delay 1ms -concurrency 2 -queue 4 -queue-wait 5ms -out BENCH_E24.json
 
+# Persistence smoke: the crash-safe answer cache under fire — the
+# crash-recovery property suite (random kill offsets and bit flips
+# through the full Exec path, recovery must never fail and never serve
+# a wrong row), the chaos crash/reopen cycles (rotating fault regimes,
+# no goroutine or fd leaks), the faultfs-backed persist unit tests, and
+# the E26 warm-restart harness end to end. Under -race because the
+# spill path runs outside the cache lock by design.
+persist-smoke:
+	$(GO) test -race -count=1 -run='TestPersistCrashRecoveryExec|TestChaosPersistCrashReopenCycles' .
+	$(GO) test -race -count=1 ./internal/qcache/persist/
+	$(GO) test -race -count=1 -run='TestRunWarmRestart|TestValidateBenchReport' ./internal/server/
+
 paperbench:
 	$(GO) run ./cmd/paperbench -quick
 
-check: build vet lint test test-race
+check: build vet lint test test-race persist-smoke

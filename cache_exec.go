@@ -52,8 +52,11 @@ func (c *execConfig) useQueryCache() bool {
 }
 
 // cacheProfile seeds an ExecProfile's cache counters from a plan lookup
-// and an answer-cache consultation.
-func cacheProfile(info qcache.PlanInfo, hit qcache.AnswerHit) engine.Profile {
+// and an answer-cache consultation. The persistence counters are the
+// cache's cumulative totals (like Profile.Replicas), not per-execution
+// deltas: warm loads happen lazily at the first lookup per catalog
+// label, so a per-call delta would credit them to an arbitrary request.
+func cacheProfile(qc *QueryCache, info qcache.PlanInfo, hit qcache.AnswerHit) engine.Profile {
 	var p engine.Profile
 	if info.Hit {
 		p.Cache.PlanHits = 1
@@ -64,6 +67,10 @@ func cacheProfile(info qcache.PlanInfo, hit qcache.AnswerHit) engine.Profile {
 	} else {
 		p.Cache.PartialReuseRules = hit.CachedRules
 	}
+	st := qc.Stats()
+	p.Cache.PersistLoads = st.PersistLoads
+	p.Cache.PersistDrops = st.PersistDrops
+	p.Cache.PersistBytes = st.PersistBytes
 	return p
 }
 
@@ -89,7 +96,7 @@ func completeInc(rules int) *engine.Incompleteness {
 // execCachedMaterialized is Exec's materialized path through the cache.
 func execCachedMaterialized(ctx context.Context, rt *Runtime, c *execConfig, entry *qcache.PlanEntry, info qcache.PlanInfo, ps *PatternSet, cat *sources.Catalog) (*Result, error) {
 	hit := c.qc.Answers(entry, cat)
-	prof := cacheProfile(info, hit)
+	prof := cacheProfile(c.qc, info, hit)
 	if hit.Full != nil {
 		var inc *engine.Incompleteness
 		if c.partial {
@@ -147,6 +154,9 @@ func execCachedMaterialized(ctx context.Context, rt *Runtime, c *execConfig, ent
 	liveProf.Cache.PlanHits += prof.Cache.PlanHits
 	liveProf.Cache.PartialReuseRules += prof.Cache.PartialReuseRules
 	liveProf.Cache.Evictions += prof.Cache.Evictions + evicted
+	liveProf.Cache.PersistLoads = prof.Cache.PersistLoads
+	liveProf.Cache.PersistDrops = prof.Cache.PersistDrops
+	liveProf.Cache.PersistBytes = prof.Cache.PersistBytes
 	return &Result{rel: out, profiled: c.profile, prof: liveProf, inc: inc}, nil
 }
 
@@ -157,7 +167,7 @@ func execCachedMaterialized(ctx context.Context, rt *Runtime, c *execConfig, ent
 // never materialized separately); a materialized run does.
 func execCachedStream(ctx context.Context, rt *Runtime, c *execConfig, entry *qcache.PlanEntry, info qcache.PlanInfo, ps *PatternSet, cat *sources.Catalog) (*Result, error) {
 	hit := c.qc.Answers(entry, cat)
-	prof := cacheProfile(info, hit)
+	prof := cacheProfile(c.qc, info, hit)
 	if hit.Full != nil {
 		var inc *engine.Incompleteness
 		if c.partial {

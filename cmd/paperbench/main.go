@@ -1,5 +1,5 @@
 // Command paperbench regenerates every experiment of DESIGN.md
-// (E1–E23 and E25; E24 is the serving harness, cmd/ucqnload): the
+// (E1–E23, E25, and E26; E24 is the serving harness, cmd/ucqnload): the
 // reproduction of the algorithms, worked examples, and
 // complexity claims of Nash & Ludäscher (EDBT 2004). Each experiment
 // prints one table; EXPERIMENTS.md records the expected shapes.
@@ -36,7 +36,7 @@ import (
 
 var (
 	quick    = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
-	benchOut = flag.String("bench-out", "", "write the E25 columnar report (BENCH_E25.json schema) to this path")
+	benchOut = flag.String("bench-out", "", "write the bench report of the experiment being run (E25 or E26, with -run) to this path")
 )
 
 func main() {
@@ -72,6 +72,7 @@ func main() {
 		{"E22", "semantic query cache: Zipf repeated workload", e22},
 		{"E23", "hedged requests: tail latency with a slow replica", e23},
 		{"E25", "columnar batch evaluation: map-based vs columnar hot loop", e25},
+		{"E26", "crash-safe answer cache: cold start vs warm restart", e26},
 	}
 	found := false
 	for _, e := range experiments {
@@ -1466,6 +1467,61 @@ func e25() {
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
 	}
+}
+
+// --- E26 ----------------------------------------------------------------
+
+func e26() {
+	// Cold start vs warm restart through the serving layer: a server
+	// opens over an empty persistence directory, serves the fixture mix
+	// twice (cold pass pays the source calls; steady pass is the
+	// answer-cache regime), shuts down, and a fresh server — new
+	// catalogs, same directory — serves the mix again. The warm pass
+	// must hit the steady-state call count: the append-only log, not
+	// the sources, repopulated the cache. An artificial per-call delay
+	// makes the saved round trips visible in the p50.
+	delayMS := 2.0
+	if *quick {
+		delayMS = 1.0
+	}
+	dir, err := os.MkdirTemp("", "ucqn-e26-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := server.RunWarmRestart(context.Background(), dir,
+		server.WarmRestartConfig{Tenants: 3, DelayMS: delayMS})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-8s %10s %12s %12s\n", "pass", "calls", "p50", "mean")
+	fmt.Printf("%-8s %10d %12s %12s\n", "cold", rep.ColdCalls, fmtMS(rep.ColdP50MS), fmtMS(rep.ColdMeanMS))
+	fmt.Printf("%-8s %10d %12s %12s\n", "steady", rep.SteadyCalls, fmtMS(rep.SteadyP50MS), fmtMS(rep.SteadyMeanMS))
+	fmt.Printf("%-8s %10d %12s %12s\n", "warm", rep.WarmCalls, fmtMS(rep.WarmP50MS), fmtMS(rep.WarmMeanMS))
+	fmt.Printf("restart recovery: %d entries warm-loaded (%d bytes), %d dropped; sound: %v\n",
+		rep.PersistLoads, rep.PersistBytes, rep.PersistDrops, rep.Sound)
+	fmt.Println("expected: the warm restart matches the steady-state call count (≈0) with a mean latency orders of magnitude under cold; recovery loads every persisted entry and every answer verifies against ground truth")
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		data = append(data, '\n')
+		if err := server.ValidateBenchReport(data); err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+}
+
+// fmtMS renders a millisecond float at a readable precision.
+func fmtMS(ms float64) string {
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond).String()
 }
 
 // mustCatalog builds a catalog or panics (paperbench helper).

@@ -37,14 +37,20 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "max time a request waits for a slot (0 = 25ms)")
 	quota := flag.Int("quota", 0, "per-request source-call quota per tenant (0 = unlimited)")
 	delay := flag.Duration("delay", 0, "artificial per-call source latency (provokes shedding under load)")
+	persist := flag.String("persist", "", "directory for the crash-safe answer-cache log (empty = memory only); restarts warm-load surviving entries")
 	flag.Parse()
 
-	s := server.New(server.Config{
+	s, err := server.Open(server.Config{
 		MaxConcurrent: *concurrency,
 		MaxQueue:      *queue,
 		QueueWait:     *queueWait,
 		DefaultQuota:  ucqn.Budget{MaxCalls: *quota},
+		PersistDir:    *persist,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+		os.Exit(1)
+	}
 	for _, f := range server.PaperTenants(*tenants) {
 		cat := f.Catalog()
 		if *delay > 0 {
@@ -78,6 +84,13 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ucqnd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		// Flush the persistence log after draining requests: everything
+		// cached since the last fsync batch becomes durable for the next
+		// start.
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ucqnd: close persistence: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -51,18 +51,25 @@ func run() error {
 	queueWait := flag.Duration("queue-wait", 0, "boot mode: max slot wait (0 = 25ms)")
 	quota := flag.Int("quota", 0, "boot mode: per-request call quota (0 = unlimited)")
 	delay := flag.Duration("delay", 0, "boot mode: artificial per-call source latency")
+	persist := flag.String("persist", "", "boot mode: crash-safe answer-cache directory (empty = memory only)")
 	flag.Parse()
 
 	fixtures := server.PaperTenants(*tenants)
 	base := *addr
 	var httpSrv *http.Server
+	var booted *server.Server
 	if *boot {
-		s := server.New(server.Config{
+		s, err := server.Open(server.Config{
 			MaxConcurrent: *concurrency,
 			MaxQueue:      *queue,
 			QueueWait:     *queueWait,
 			DefaultQuota:  ucqn.Budget{MaxCalls: *quota},
+			PersistDir:    *persist,
 		})
+		if err != nil {
+			return err
+		}
+		booted = s
 		for _, f := range fixtures {
 			cat := f.Catalog()
 			if *delay > 0 {
@@ -97,6 +104,9 @@ func run() error {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := booted.Close(); err != nil {
+			return fmt.Errorf("close persistence: %w", err)
 		}
 		fmt.Fprintln(os.Stderr, "ucqnload: server shut down cleanly")
 	}

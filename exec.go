@@ -23,20 +23,21 @@ type Stream = engine.Stream
 
 // execConfig is the option-resolved shape of one Exec call.
 type execConfig struct {
-	rt        *Runtime
-	parallel  bool
-	profile   bool
-	streaming bool
-	partial   bool
-	star      bool
-	improve   bool
-	maxCalls  int
-	naive     *Instance
-	inds      INDSet
-	hasINDs   bool
-	stats     PlanStats
-	hasStats  bool
-	qc        *QueryCache
+	rt         *Runtime
+	parallel   bool
+	profile    bool
+	streaming  bool
+	partial    bool
+	star       bool
+	improve    bool
+	maxCalls   int
+	naive      *Instance
+	inds       INDSet
+	hasINDs    bool
+	stats      PlanStats
+	hasStats   bool
+	qc         *QueryCache
+	persistDir string
 
 	replicas    []*Catalog
 	hasReplicas bool
@@ -340,6 +341,13 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 		}
 		q = ordered
 	}
+	if c.persistDir != "" {
+		qc, err := OpenQueryCache(c.persistDir, QueryCacheOptions{})
+		if err != nil {
+			return nil, err
+		}
+		c.qc = qc
+	}
 	if c.useQueryCache() {
 		entry, info := c.qc.Plan(q, ps)
 		if err := entry.Err(); err != nil {
@@ -390,7 +398,7 @@ func (c *execConfig) validate() error {
 		switch {
 		case c.star, c.streaming, c.profile, c.parallel, c.partial:
 			return errors.New("ucqn: WithNaive does not combine with execution options")
-		case c.hasINDs, c.hasStats, c.rt != nil:
+		case c.hasINDs, c.hasStats, c.rt != nil, c.persistDir != "":
 			return errors.New("ucqn: WithNaive ignores access patterns; planning options do not apply")
 		case c.hasReplicas, c.hasHedge, c.hasBudget:
 			return errors.New("ucqn: WithNaive makes no source calls; replica and budget options do not apply")
@@ -409,6 +417,9 @@ func (c *execConfig) validate() error {
 	}
 	if c.profile && c.parallel && !c.streaming {
 		return fmt.Errorf("ucqn: materialized profiling is per rule in sequence; combine WithProfile + WithParallelRules only with WithStreaming")
+	}
+	if c.persistDir != "" && c.qc != nil {
+		return errors.New("ucqn: WithPersistence already selects a query cache; do not combine it with WithQueryCache")
 	}
 	if c.hasBatchSize && c.batchSize < 1 {
 		return fmt.Errorf("ucqn: WithBatchSize(%d): batch size must be at least 1", c.batchSize)

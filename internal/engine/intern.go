@@ -33,10 +33,16 @@ const (
 type valueInterner struct {
 	ids sync.Map // string -> uint32
 
-	mu     sync.Mutex // guards appends: n and chunk writes
+	mu     sync.Mutex // guards appends: n, bytes, and chunk writes
 	n      uint32     // next ID to assign
+	bytes  int64      // approximate resident bytes of interned values
 	chunks atomic.Pointer[[][]string]
 }
+
+// internEntryOverhead approximates the per-entry cost beyond the value
+// bytes themselves: the sync.Map entry, the reverse-table slot, and two
+// string headers.
+const internEntryOverhead = 64
 
 func newValueInterner() *valueInterner {
 	in := &valueInterner{}
@@ -75,6 +81,7 @@ func (in *valueInterner) id(s string) (uint32, bool) {
 	}
 	chunks[id>>internChunkShift][id&internChunkMask] = s
 	in.n = id + 1
+	in.bytes += int64(len(s)) + internEntryOverhead
 	// Publish last: a reader can only learn this ID through the map (or
 	// through data derived after this Store), so the chunk write above
 	// happens-before every str(id).
@@ -94,4 +101,15 @@ func (in *valueInterner) size() uint32 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.n
+}
+
+// InternerOccupancy reports the process-wide value interner's entry
+// count and approximate resident bytes. The table is append-only for
+// the process lifetime, so both numbers are monotonic gauges — useful
+// for watching whether a workload's value universe has stabilized
+// (steady state interns almost nothing) or keeps growing.
+func InternerOccupancy() (entries int, bytes int64) {
+	interned.mu.Lock()
+	defer interned.mu.Unlock()
+	return int(interned.n), interned.bytes
 }

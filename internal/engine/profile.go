@@ -121,6 +121,16 @@ type CacheProfile struct {
 	// Evictions counts query-cache entries (plans or answers) evicted
 	// while serving this execution.
 	Evictions int
+	// PersistLoads counts answer entries warm-loaded from the cache's
+	// persistence log. Like Replicas, these persistence counters are
+	// cumulative across the cache's lifetime, not per-execution.
+	PersistLoads int
+	// PersistDrops counts persisted records dropped as unverifiable
+	// (torn, bit-flipped, failed validation) or stale — dropped records
+	// are never served.
+	PersistDrops int
+	// PersistBytes approximates the row bytes warm-loaded from disk.
+	PersistBytes int64
 }
 
 // DegradedProfile groups the partial-results accounting.
@@ -143,6 +153,13 @@ type BatchProfile struct {
 	// ArenaReuses counts column buffers served from the execution's
 	// recycling pool instead of fresh allocations.
 	ArenaReuses int
+	// InternerEntries and InternerBytes are the process-wide value
+	// interner's occupancy (entry count and approximate resident bytes),
+	// snapshotted when the execution finished. The interner is
+	// append-only, so these are monotonic gauges, not per-execution
+	// deltas.
+	InternerEntries int
+	InternerBytes   int64
 }
 
 // Profile is the execution profile of a whole plan. Counter groups:
@@ -181,6 +198,7 @@ func (p *Profile) finalize() {
 	c := &p.Calls
 	c.Total, c.Deduped, c.Retries, c.Hedged, c.HedgeWins, c.MaxInFlight =
 		p.TotalCalls(), p.TotalDeduped(), p.TotalRetries(), p.HedgedCalls(), p.HedgeWins(), p.MaxInFlight()
+	p.Batch.InternerEntries, p.Batch.InternerBytes = InternerOccupancy()
 }
 
 // BudgetSpent returns Calls.BudgetSpent.
@@ -365,6 +383,10 @@ func (p Profile) String() string {
 	if c := p.Cache; c.PlanHits > 0 || c.AnswerHits > 0 || c.PartialReuseRules > 0 || c.Evictions > 0 {
 		fmt.Fprintf(&b, "cache: plan hits=%d answer hits=%d reused rules=%d evictions=%d\n",
 			c.PlanHits, c.AnswerHits, c.PartialReuseRules, c.Evictions)
+	}
+	if c := p.Cache; c.PersistLoads > 0 || c.PersistDrops > 0 {
+		fmt.Fprintf(&b, "persist: %d entries warm-loaded (%d bytes), %d dropped\n",
+			c.PersistLoads, c.PersistBytes, c.PersistDrops)
 	}
 	if p.Batch.BatchesProcessed > 0 {
 		fmt.Fprintf(&b, "batches: %d processed, %d values interned, %d buffers reused\n",

@@ -1,0 +1,259 @@
+package persist
+
+// FaultFS: a filesystem for durability tests. It forwards to an inner
+// FS (the real disk in an os.TempDir, usually) while injecting the
+// failure modes the recovery path must survive — short writes, failed
+// fsyncs, ENOSPC, and a simulated process death at an exact cumulative
+// byte offset — and it counts open handles so tests can assert that
+// crash/reopen cycles leak no file descriptors. It lives in the package
+// proper (not a _test file) because the engine-level chaos suite
+// injects it from other packages' tests.
+
+import (
+	"errors"
+	"sync"
+)
+
+// Injected fault errors.
+var (
+	// ErrCrashed is returned by every operation after the crash offset
+	// was hit: the simulated process is dead.
+	ErrCrashed = errors.New("faultfs: crashed")
+	// ErrNoSpace simulates ENOSPC.
+	ErrNoSpace = errors.New("faultfs: no space left on device")
+	// ErrSyncFailed simulates a failed fsync.
+	ErrSyncFailed = errors.New("faultfs: fsync failed")
+)
+
+// FaultFS wraps an FS with fault injection. Configure the exported
+// fields before handing it to Open; they must not be changed while the
+// log is live (the mutex protects the counters, not the policy).
+type FaultFS struct {
+	// Inner is the real filesystem (nil = OSFS).
+	Inner FS
+
+	// CrashAtByte simulates the process dying mid-write: once the
+	// cumulative bytes written through this FS reach the offset, the
+	// crossing write persists only the bytes up to it and every later
+	// operation fails with ErrCrashed. Zero disables.
+	CrashAtByte int64
+	// ShortWriteEveryN truncates every Nth write to half its length
+	// (with a write error), exercising the torn-tail truncation path.
+	// Zero disables.
+	ShortWriteEveryN int
+	// FailSyncEveryN fails every Nth Sync with ErrSyncFailed. Zero
+	// disables.
+	FailSyncEveryN int
+	// MaxBytes simulates a full disk: writes that would push the
+	// cumulative written bytes past it fail with ErrNoSpace (nothing of
+	// the failing write is persisted). Zero disables.
+	MaxBytes int64
+
+	mu      sync.Mutex
+	written int64
+	writes  int
+	syncs   int
+	crashed bool
+	open    int
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return OSFS{}
+	}
+	return f.Inner
+}
+
+// Written reports the cumulative bytes written through the FS.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Crashed reports whether the crash offset was reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// OpenHandles reports the number of files opened through the FS and not
+// yet closed — the fd-leak gauge for crash/reopen cycle tests.
+func (f *FaultFS) OpenHandles() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.open
+}
+
+// checkAlive returns ErrCrashed once the crash offset was hit.
+func (f *FaultFS) checkAlive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// admitWrite decides how much of an n-byte write goes through and which
+// error the writer sees. It charges the admitted bytes.
+func (f *FaultFS) admitWrite(n int) (allowed int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writes++
+	allowed = n
+	if f.ShortWriteEveryN > 0 && f.writes%f.ShortWriteEveryN == 0 {
+		allowed = n / 2
+		err = errors.New("faultfs: injected short write")
+	}
+	if f.MaxBytes > 0 && f.written+int64(allowed) > f.MaxBytes {
+		return 0, ErrNoSpace
+	}
+	if f.CrashAtByte > 0 && f.written+int64(allowed) >= f.CrashAtByte {
+		allowed = int(f.CrashAtByte - f.written)
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.crashed = true
+		err = ErrCrashed
+	}
+	f.written += int64(allowed)
+	return allowed, err
+}
+
+func (f *FaultFS) admitSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.FailSyncEveryN > 0 && f.syncs%f.FailSyncEveryN == 0 {
+		return ErrSyncFailed
+	}
+	return nil
+}
+
+// faultFile wraps an inner File, consulting the parent FS on every
+// operation.
+type faultFile struct {
+	fs     *FaultFS
+	inner  File
+	closed bool
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	allowed, ferr := f.fs.admitWrite(len(b))
+	n := 0
+	if allowed > 0 {
+		var werr error
+		n, werr = f.inner.Write(b[:allowed])
+		if ferr == nil {
+			ferr = werr
+		}
+	}
+	if ferr == nil && n < len(b) {
+		ferr = errors.New("faultfs: short write")
+	}
+	return n, ferr
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.admitSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if !f.closed {
+		f.closed = true
+		f.fs.mu.Lock()
+		f.fs.open--
+		f.fs.mu.Unlock()
+	}
+	// Closing is allowed even post-crash: the dead process's descriptors
+	// are gone either way, and the leak gauge must drain.
+	return f.inner.Close()
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner().MkdirAll(dir)
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, int64, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, 0, err
+	}
+	inner, size, err := f.inner().OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	f.mu.Lock()
+	f.open++
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: inner}, size, nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner().Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.open++
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	return f.inner().ReadFile(path)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner().Rename(oldPath, newPath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner().Remove(path)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner().SyncDir(dir)
+}

@@ -1,0 +1,87 @@
+package persist
+
+// Filesystem abstraction: the log performs every disk operation through
+// the FS interface so tests can inject the failures real disks produce —
+// short writes, failed fsyncs, ENOSPC, a process dying at an arbitrary
+// byte offset — without touching the real filesystem. OSFS is the
+// production implementation.
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the log writes through.
+type File interface {
+	io.Writer
+	// Sync flushes the file's dirty pages to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (the log uses it to drop a
+	// torn tail before appending past it).
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the set of filesystem operations the log needs.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending — creating it if missing — and
+	// reports its current size.
+	OpenAppend(path string) (File, int64, error)
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// ReadFile reads the whole file; a missing file returns an error
+	// satisfying os.IsNotExist.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path (missing files are not an error for callers
+	// that check).
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making a preceding rename or
+	// create durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,501 @@
+// Package persist is the crash-safe spill layer for the Tier 2 answer
+// cache (internal/qcache): an append-only log of checksummed,
+// length-prefixed records — per-disjunct answer rows keyed by a stable
+// catalog label, catalog generation, and canonical core key, plus
+// generation tombstones — with periodic compacted snapshots written via
+// atomic rename, and batched fsyncs.
+//
+// The durability contract is asymmetric by design. Writes are
+// best-effort: an append that fails (short write, ENOSPC, dead disk)
+// degrades the process to a memory-only cache, never fails a query.
+// Reads are paranoid: recovery accepts a record only when its frame is
+// intact (length sane, CRC32-C matching, fields well-formed) and its
+// generation is current, and it tolerates torn tails, truncation,
+// bit-flips, and missing files by dropping exactly the unverifiable
+// suffix or record — Open never fails on corrupt content, and a corrupt
+// row is never surfaced. A recovered torn tail is truncated away before
+// the log is appended to again, so new records always begin at a valid
+// frame boundary.
+//
+// Generations provide the invalidation story across restarts: an entry
+// is live only under its label's highest generation seen anywhere in
+// the snapshot or log. Catalog.Invalidate during operation appends a
+// tombstone carrying the bumped generation, so a restart can never
+// resurrect answers the tenant explicitly invalidated; on recovery the
+// in-memory catalog is advanced past the persisted generation before
+// any entry is served.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	logFile      = "answers.log"
+	snapFile     = "answers.snap"
+	snapTmpFile  = "answers.snap.tmp"
+	defaultSync  = 64
+	defaultBytes = 8 << 20
+)
+
+// Options configures a Log. The zero value uses the real filesystem,
+// fsyncs every 64 appended records, and compacts when the log file
+// exceeds 8 MiB.
+type Options struct {
+	// FS is the filesystem implementation (nil = OSFS). Tests inject a
+	// FaultFS here.
+	FS FS
+	// SyncEvery fsyncs the log after this many appended records
+	// (default 64; 1 = every record; negative = only on Compact/Close).
+	SyncEvery int
+	// CompactBytes triggers a snapshot + log truncation when the log
+	// file grows past this size (default 8 MiB; negative = never).
+	CompactBytes int64
+	// Now is the clock used to stamp snapshots (nil = time.Now); tests
+	// inject a virtual clock for deterministic snapshot-age behavior.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = defaultSync
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = defaultBytes
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// RecoveryStats reports what Open found on disk.
+type RecoveryStats struct {
+	// SnapshotRecords and LogRecords count the frames that decoded and
+	// verified from each file.
+	SnapshotRecords int
+	LogRecords      int
+	// Entries is the number of live answer entries after generation
+	// filtering — what a warm load can install.
+	Entries int
+	// Bytes approximates the row bytes of the live entries.
+	Bytes int64
+	// CorruptDrops counts corruption events: an unreadable snapshot, a
+	// torn or bit-flipped frame (and the suffix it takes with it), or a
+	// record whose fields failed validation.
+	CorruptDrops int
+	// StaleDrops counts verified records dropped because a higher
+	// generation (entry or tombstone) superseded them.
+	StaleDrops int
+	// TruncatedBytes is the size of the torn log tail cut off before
+	// reopening for append.
+	TruncatedBytes int64
+}
+
+// labelState is the live state of one catalog label: its highest
+// generation and the entries stored under it.
+type labelState struct {
+	gen     int64
+	entries map[string]Entry // core key -> entry
+}
+
+// Log is the persistence layer: an in-memory mirror of the live entries
+// plus the append-only file feeding recovery. It is safe for concurrent
+// use. All write failures are absorbed after the first: the log turns
+// itself off (Err reports why) and the owning cache keeps serving from
+// memory.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	f       File
+	off     int64 // durable log size: end of the last fully written frame
+	pending int   // appended records since the last fsync
+	state   map[string]*labelState
+	broken  error // first unrecoverable write failure; nil while healthy
+	closed  bool
+}
+
+// Open recovers the persisted state under dir (creating it if needed)
+// and opens the log for appending. Corrupt or stale content is dropped
+// and counted, never fatal: the only errors Open returns are real
+// filesystem failures (permission, I/O on open) — a trashed file yields
+// an empty state, not a dead server.
+func Open(dir string, opt Options) (*Log, RecoveryStats, error) {
+	opt = opt.withDefaults()
+	if err := opt.FS.MkdirAll(dir); err != nil {
+		return nil, RecoveryStats{}, fmt.Errorf("persist: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt, state: map[string]*labelState{}}
+	var rs RecoveryStats
+
+	// A crash mid-snapshot leaves the temporary file behind; it was
+	// never renamed, so it is dead weight.
+	_ = opt.FS.Remove(filepath.Join(dir, snapTmpFile))
+
+	// Snapshot first (the compacted past), then the log (everything
+	// since). Replaying log records over snapshot state is idempotent:
+	// entries overwrite equal entries, generations only advance.
+	if data, err := opt.FS.ReadFile(filepath.Join(dir, snapFile)); err == nil {
+		rs.SnapshotRecords = l.replay(data, snapMagic, &rs)
+	} else if !os.IsNotExist(err) {
+		rs.CorruptDrops++ // unreadable snapshot: treat as lost, not fatal
+	}
+
+	logPath := filepath.Join(dir, logFile)
+	var validLog int64
+	if data, err := opt.FS.ReadFile(logPath); err == nil {
+		n, valid := 0, int64(0)
+		n = l.replayAt(data, logMagic, &rs, &valid)
+		rs.LogRecords = n
+		validLog = valid
+		if valid < int64(len(data)) {
+			rs.TruncatedBytes = int64(len(data)) - valid
+		}
+	} else if !os.IsNotExist(err) {
+		rs.CorruptDrops++
+	}
+
+	f, size, err := opt.FS.OpenAppend(logPath)
+	if err != nil {
+		return nil, RecoveryStats{}, fmt.Errorf("persist: %w", err)
+	}
+	l.f = f
+	l.off = size
+	// Cut off the torn tail (or an entirely unreadable log) so appends
+	// resume at a frame boundary. A log without even a magic header is
+	// rewritten from scratch.
+	if validLog < size {
+		if err := f.Truncate(validLog); err != nil {
+			f.Close()
+			return nil, RecoveryStats{}, fmt.Errorf("persist: truncate torn tail: %w", err)
+		}
+		l.off = validLog
+	}
+	if l.off == 0 {
+		if err := l.writeLocked([]byte(logMagic)); err != nil {
+			l.broken = err
+		}
+	}
+
+	for _, st := range l.state {
+		for _, e := range st.entries {
+			rs.Entries++
+			rs.Bytes += entryBytes(e)
+		}
+	}
+	return l, rs, nil
+}
+
+// replay applies every valid frame of data (which must start with the
+// given magic) to the state, returning the number of applied records.
+func (l *Log) replay(data []byte, magic string, rs *RecoveryStats) int {
+	var valid int64
+	return l.replayAt(data, magic, rs, &valid)
+}
+
+// replayAt is replay, also reporting the byte offset one past the last
+// valid frame (the truncation point for the log file).
+func (l *Log) replayAt(data []byte, magic string, rs *RecoveryStats, valid *int64) int {
+	*valid = 0
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		if len(data) > 0 {
+			rs.CorruptDrops++
+		}
+		return 0
+	}
+	*valid = int64(len(magic))
+	off, applied := len(magic), 0
+	for off < len(data) {
+		payload, next, err := readFrame(data, off)
+		if err != nil {
+			// Torn or flipped: everything from here on is unverifiable.
+			rs.CorruptDrops++
+			return applied
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The frame verified but the payload did not parse (version
+			// drift, or a collision-surviving flip). Drop this record but
+			// keep scanning: framing is still trustworthy.
+			rs.CorruptDrops++
+			off = next
+			*valid = int64(next)
+			continue
+		}
+		l.applyLocked(rec, rs)
+		applied++
+		off = next
+		*valid = int64(next)
+	}
+	return applied
+}
+
+// applyLocked folds one record into the state. Generation rules: a
+// record below its label's current generation is stale; one above it
+// bumps the label and clears the superseded entries.
+func (l *Log) applyLocked(rec record, rs *RecoveryStats) {
+	label, gen := rec.label, rec.gen
+	if !rec.tomb {
+		label, gen = rec.entry.Label, rec.entry.Gen
+	}
+	st := l.state[label]
+	if st == nil {
+		st = &labelState{entries: map[string]Entry{}}
+		l.state[label] = st
+	}
+	if gen < st.gen {
+		if rs != nil && !rec.tomb {
+			rs.StaleDrops++
+		}
+		return
+	}
+	if gen > st.gen {
+		if rs != nil {
+			rs.StaleDrops += len(st.entries)
+		}
+		st.gen = gen
+		st.entries = map[string]Entry{}
+	}
+	if !rec.tomb {
+		st.entries[rec.entry.CoreKey] = rec.entry
+	}
+}
+
+// entryBytes approximates the resident row bytes of one entry.
+func entryBytes(e Entry) int64 {
+	var n int64
+	for _, row := range e.Rows {
+		n += 16
+		for _, v := range row {
+			n += int64(len(v.S)) + 16
+		}
+	}
+	return n
+}
+
+// Label returns the label's current generation and a copy of its live
+// entries (nil when the label has no persisted state).
+func (l *Log) Label(label string) (gen int64, entries []Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state[label]
+	if st == nil {
+		return 0, nil
+	}
+	out := make([]Entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, e)
+	}
+	return st.gen, out
+}
+
+// Append records one answer entry. Errors are reported but terminal
+// only for the log, not the caller: after the first unrecoverable
+// failure the log goes inert and every later Append returns the same
+// error (check Err).
+func (l *Log) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	l.applyLocked(record{entry: e}, nil)
+	return l.appendFrameLocked(encodeEntry(e))
+}
+
+// AppendTombstone records that label's generation advanced to gen: on
+// recovery every entry below gen is dropped, so a restart cannot
+// resurrect explicitly invalidated answers.
+func (l *Log) AppendTombstone(label string, gen int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	l.applyLocked(record{tomb: true, label: label, gen: gen}, nil)
+	return l.appendFrameLocked(encodeTombstone(label, gen))
+}
+
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return errors.New("persist: log is closed")
+	}
+	return l.broken
+}
+
+// appendFrameLocked frames, writes, and (per the batching policy)
+// fsyncs one payload, compacting afterwards if the log outgrew its
+// bound.
+func (l *Log) appendFrameLocked(payload []byte) error {
+	if err := l.writeLocked(appendFrame(nil, payload)); err != nil {
+		return err
+	}
+	l.pending++
+	if l.opt.SyncEvery > 0 && l.pending >= l.opt.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if l.opt.CompactBytes > 0 && l.off > l.opt.CompactBytes {
+		return l.compactLocked()
+	}
+	return nil
+}
+
+// writeLocked appends raw bytes to the log file. A short or failed
+// write leaves a torn tail; the log tries to truncate back to the last
+// good frame boundary and stay usable, and turns itself off when even
+// that fails.
+func (l *Log) writeLocked(b []byte) error {
+	n, err := l.f.Write(b)
+	if err == nil && n == len(b) {
+		l.off += int64(n)
+		return nil
+	}
+	if err == nil {
+		err = fmt.Errorf("persist: short write: %d of %d bytes", n, len(b))
+	} else {
+		err = fmt.Errorf("persist: write: %w", err)
+	}
+	if terr := l.f.Truncate(l.off); terr != nil {
+		// The tail is torn and uncuttable: stop persisting entirely
+		// rather than ever appending after garbage. Recovery will drop
+		// the tail on the next start.
+		l.broken = fmt.Errorf("%w (and truncate failed: %v)", err, terr)
+		return l.broken
+	}
+	return err
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		// A failed fsync means unknown durability for everything since
+		// the last success; the safe stance is to stop claiming any.
+		l.broken = fmt.Errorf("persist: fsync: %w", err)
+		return l.broken
+	}
+	l.pending = 0
+	return nil
+}
+
+// Compact writes the current live state as a fresh snapshot (atomic
+// rename) and truncates the log.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	return l.compactLocked()
+}
+
+func (l *Log) compactLocked() error {
+	// Render the snapshot: per label a tombstone pinning the generation
+	// (so labels whose entries all expired still invalidate), then the
+	// entries.
+	buf := []byte(snapMagic)
+	for label, st := range l.state {
+		buf = appendFrame(buf, encodeTombstone(label, st.gen))
+		for _, e := range st.entries {
+			buf = appendFrame(buf, encodeEntry(e))
+		}
+	}
+	tmp := filepath.Join(l.dir, snapTmpFile)
+	f, err := l.opt.FS.Create(tmp)
+	if err != nil {
+		return l.giveUp(fmt.Errorf("persist: snapshot create: %w", err))
+	}
+	n, err := f.Write(buf)
+	if err == nil && n != len(buf) {
+		err = fmt.Errorf("short write: %d of %d bytes", n, len(buf))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = l.opt.FS.Remove(tmp)
+		return l.giveUp(fmt.Errorf("persist: snapshot write: %w", err))
+	}
+	// The commit point: an intact snapshot atomically replaces the old
+	// one. A crash before this rename keeps the old snapshot + full log;
+	// a crash after it keeps the new snapshot + stale log records, which
+	// replay idempotently.
+	if err := l.opt.FS.Rename(tmp, filepath.Join(l.dir, snapFile)); err != nil {
+		_ = l.opt.FS.Remove(tmp)
+		return l.giveUp(fmt.Errorf("persist: snapshot rename: %w", err))
+	}
+	if err := l.opt.FS.SyncDir(l.dir); err != nil {
+		return l.giveUp(fmt.Errorf("persist: snapshot dir sync: %w", err))
+	}
+	// Reset the log to just its header.
+	if err := l.f.Truncate(int64(len(logMagic))); err != nil {
+		return l.giveUp(fmt.Errorf("persist: log reset: %w", err))
+	}
+	l.off = int64(len(logMagic))
+	l.pending = 0
+	return nil
+}
+
+// giveUp marks the log permanently inert after an unrecoverable
+// compaction failure (the on-disk state stays consistent — recovery
+// reads whichever of snapshot/log combination survived).
+func (l *Log) giveUp(err error) error {
+	l.broken = err
+	return err
+}
+
+// Sync flushes any unsynced appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if l.pending == 0 {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// Err reports why the log turned itself off, or nil while it is
+// healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// Dir returns the directory the log persists under.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and closes the log file. The graceful-shutdown path of
+// a server should call it so the last fsync batch is durable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.broken == nil && l.pending > 0 {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}

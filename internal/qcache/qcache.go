@@ -46,6 +46,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/minimize"
+	"repro/internal/qcache/persist"
 	"repro/internal/sources"
 )
 
@@ -81,6 +82,10 @@ type Options struct {
 	// DisableAnswers turns tier 2 off: plans are cached, answers are
 	// always computed live (the "plan-only" mode of the E22 ablation).
 	DisableAnswers bool
+	// Now is the cache's clock (nil = time.Now). Tests inject a virtual
+	// clock (mirroring sources.VirtualClock) so TTL expiry and
+	// persistence timestamps are deterministic.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.EquivBudget == 0 {
 		o.EquivBudget = 20000
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	return o
 }
 
@@ -119,6 +127,14 @@ type Stats struct {
 	// Evictions counts entries (plans and answers) evicted by capacity,
 	// bytes, or TTL.
 	Evictions int
+	// PersistLoads counts answer entries warm-loaded from the
+	// persistence log, and PersistBytes their approximate row bytes.
+	PersistLoads int
+	PersistBytes int64
+	// PersistDrops counts persisted records dropped rather than served:
+	// unverifiable on disk (torn, bit-flipped, failed validation) or
+	// superseded by a newer generation.
+	PersistDrops int
 }
 
 // Feasibility is the cached FEASIBLE verdict.
@@ -248,19 +264,25 @@ type Cache struct {
 	ansLRU   *list.List               // of *ansEntry
 	ansBytes int64
 
+	// persist is the optional crash-safe spill layer (nil = memory
+	// only); restored tracks which catalog labels have been warm-loaded.
+	persist  *persist.Log
+	restored map[string]bool
+
 	stats Stats
 }
 
 // New returns a Cache with the given options (zero value = defaults).
 func New(opt Options) *Cache {
 	return &Cache{
-		opt:     opt.withDefaults(),
-		fast:    map[string]string{},
-		plans:   map[string]*list.Element{},
-		planLRU: list.New(),
-		flights: map[string]*planFlight{},
-		answers: map[string]*list.Element{},
-		ansLRU:  list.New(),
+		opt:      opt.withDefaults(),
+		fast:     map[string]string{},
+		plans:    map[string]*list.Element{},
+		planLRU:  list.New(),
+		flights:  map[string]*planFlight{},
+		answers:  map[string]*list.Element{},
+		ansLRU:   list.New(),
+		restored: map[string]bool{},
 	}
 }
 
@@ -288,10 +310,13 @@ func (c *Cache) Purge() {
 	c.answers = map[string]*list.Element{}
 	c.ansLRU = list.New()
 	c.ansBytes = 0
+	// Forget restore state so persisted entries can warm the cache again
+	// on the next lookup (re-restoring is idempotent).
+	c.restored = map[string]bool{}
 }
 
 func (c *Cache) fresh(created time.Time) bool {
-	return c.opt.TTL <= 0 || time.Since(created) < c.opt.TTL
+	return c.opt.TTL <= 0 || c.opt.Now().Sub(created) < c.opt.TTL
 }
 
 // fastKey renders q textually: per rule, the head and the *sorted* body
@@ -402,7 +427,7 @@ func (c *Cache) removePlanLocked(elem *list.Element) {
 // canonicalize, pick an executable representative, adorn it, and run
 // the budgeted FEASIBLE check.
 func (c *Cache) build(q logic.UCQ, ps *access.Set) *PlanEntry {
-	e := &PlanEntry{created: time.Now()}
+	e := &PlanEntry{created: c.opt.Now()}
 
 	// Choose the representative to evaluate. Preferred: the reordered
 	// minimized union — minimal bodies mean minimal source calls, and
@@ -521,9 +546,13 @@ func (c *Cache) Answers(e *PlanEntry, cat *sources.Catalog) AnswerHit {
 	if c.opt.DisableAnswers || e.planErr != nil {
 		return hit
 	}
-	catFP := catFingerprint(cat)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Warm-load any persisted state for this catalog's label before
+	// computing the fingerprint: the restore may advance the catalog's
+	// generation, and the fingerprint must reflect it.
+	c.ensureRestoredLocked(cat, true)
+	catFP := catFingerprint(cat)
 	equivBudget := c.opt.EquivBudget
 	full := true
 	for i, rule := range e.exec.Rules {
@@ -639,10 +668,18 @@ func (c *Cache) StoreAnswers(e *PlanEntry, cat *sources.Catalog, rels []*engine.
 	if c.opt.DisableAnswers || e.planErr != nil {
 		return 0
 	}
-	catFP := catFingerprint(cat)
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ensureRestoredLocked(cat, true)
+	catFP := catFingerprint(cat)
 	before := c.stats.Evictions
+	now := c.opt.Now()
+	lg := c.persist
+	var label string
+	if lg != nil {
+		label = cat.PersistentID()
+	}
+	gen := cat.Generation()
+	var spill []persist.Entry
 	for i, rel := range rels {
 		if rel == nil || i >= len(e.exec.Rules) || e.exec.Rules[i].False || e.cores[i].False {
 			continue
@@ -658,10 +695,23 @@ func (c *Cache) StoreAnswers(e *PlanEntry, cat *sources.Catalog, rels []*engine.
 		}
 		c.installAnswerLocked(&ansEntry{
 			key: key, catFP: catFP, core: e.cores[i], arity: len(e.cores[i].HeadArgs),
-			rows: rows, bytes: bytes, created: time.Now(),
+			rows: rows, bytes: bytes, created: now,
 		})
+		if label != "" {
+			if pe, ok := persistEntry(label, gen, now, e.coreKeys[i], e.cores[i], rows); ok {
+				spill = append(spill, pe)
+			}
+		}
 	}
-	return c.stats.Evictions - before
+	evicted := c.stats.Evictions - before
+	c.mu.Unlock()
+	// Appends run outside the cache lock: disk latency must not stall
+	// concurrent lookups, and a failed append only degrades durability
+	// (the in-memory entry stays), never the caller.
+	for _, pe := range spill {
+		_ = lg.Append(pe)
+	}
+	return evicted
 }
 
 // installAnswerLocked inserts an answer entry and evicts past the

@@ -245,6 +245,42 @@ func TestAnswerGenerationInvalidation(t *testing.T) {
 	}
 }
 
+// TestAnswerTTLInjectedClock pins TTL expiry to a deterministic clock:
+// Options.Now replaces time.Now, so the boundary is exact — no sleeps,
+// no flake margin. This is the same injection seam sources.VirtualClock
+// gives the replica runtime.
+func TestAnswerTTLInjectedClock(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	c := New(Options{TTL: time.Minute, Now: clock})
+	ps := pats(t, "R^o S^o T^o")
+	cat := testCatalog(t)
+	e, _ := c.Plan(q(t, "Q(x) :- R(x)."), ps)
+	c.StoreAnswers(e, cat, []*engine.Rel{rel("a")})
+
+	advance(time.Minute - time.Second)
+	if c.Answers(e, cat).Full == nil {
+		t.Fatal("one second before the TTL boundary must still hit")
+	}
+	advance(2 * time.Second)
+	if c.Answers(e, cat).Full != nil {
+		t.Fatal("one second past the TTL boundary must miss")
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("TTL expiry must count as an eviction")
+	}
+
+	// Re-storing under the advanced clock starts a fresh window.
+	c.StoreAnswers(e, cat, []*engine.Rel{rel("a")})
+	advance(30 * time.Second)
+	if c.Answers(e, cat).Full == nil {
+		t.Fatal("a re-stored answer gets a fresh TTL window")
+	}
+}
+
 func TestAnswerTTLAndFalseCores(t *testing.T) {
 	c := New(Options{TTL: time.Millisecond})
 	ps := pats(t, "R^o S^o T^o")

@@ -239,9 +239,10 @@ func WriteBenchReport(path string, r *LoadReport) error {
 // ValidateBenchReport schema-checks a committed BENCH_*.json document:
 // required keys present with the right JSON types and sane values. It
 // dispatches on the experiment tag — "E24" is the serving load report
-// (LoadReport), "E25" the columnar evaluator report (ColumnarReport).
-// CI runs it on the harness outputs so a drifting schema fails the
-// build, not a later comparison script.
+// (LoadReport), "E25" the columnar evaluator report (ColumnarReport),
+// "E26" the warm-restart report (WarmRestartReport). CI runs it on the
+// harness outputs so a drifting schema fails the build, not a later
+// comparison script.
 func ValidateBenchReport(data []byte) error {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -260,8 +261,10 @@ func ValidateBenchReport(data []byte) error {
 		return validateE24(raw)
 	case "E25":
 		return validateE25(raw)
+	case "E26":
+		return validateE26(raw)
 	default:
-		return fmt.Errorf("bench report: experiment = %q, want E24 or E25", exp)
+		return fmt.Errorf("bench report: experiment = %q, want E24, E25, or E26", exp)
 	}
 }
 

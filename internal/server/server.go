@@ -34,6 +34,9 @@ import (
 	"time"
 
 	ucqn "repro"
+	"repro/internal/engine"
+	"repro/internal/qcache"
+	"repro/internal/qcache/persist"
 )
 
 // Config configures a Server. The zero value serves with GOMAXPROCS
@@ -54,6 +57,17 @@ type Config struct {
 	DefaultQuota ucqn.Budget
 	// Cache configures the shared cross-tenant query cache.
 	Cache ucqn.QueryCacheOptions
+	// PersistDir, when non-empty, backs the shared query cache with the
+	// crash-safe persistence log in that directory: answer entries
+	// survive restarts (warm-loaded under the same bounds), recovery
+	// tolerates torn or corrupt files by dropping exactly the
+	// unverifiable records, and /v1/invalidate tombstones persisted
+	// entries so a restart cannot resurrect them. Construct the server
+	// with Open (not New) to use it, and Close it on shutdown so the
+	// final fsync batch is durable. Tenant names are the persistence
+	// labels: a tenant's answers warm-load only for a tenant of the same
+	// name.
+	PersistDir string
 }
 
 func (c Config) maxConcurrent() int {
@@ -113,7 +127,8 @@ type Server struct {
 }
 
 // New returns a server with the given configuration and a fresh shared
-// query cache.
+// in-memory query cache. Config.PersistDir is ignored here — use Open
+// for a persistence-backed server.
 func New(cfg Config) *Server {
 	return &Server{
 		cfg:     cfg,
@@ -121,6 +136,33 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.maxConcurrent()),
 		tenants: map[string]*Tenant{},
 	}
+}
+
+// Open is New plus persistence: when Config.PersistDir is set, the
+// shared query cache is backed by the crash-safe log in that directory
+// and whatever answer entries survived a previous process are
+// warm-loaded on each tenant's first query. Each Open owns its log
+// instance (one writer per server); call Close on shutdown. The only
+// errors are real filesystem failures — corrupt or torn on-disk state
+// recovers to a cold cache, never a failed start.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.PersistDir != "" {
+		qc, _, err := qcache.OpenPersistent(cfg.PersistDir, cfg.Cache, persist.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.qc = qc
+	}
+	return s, nil
+}
+
+// Close flushes and closes the persistence log (no-op for an in-memory
+// server). The graceful-shutdown path should call it after draining
+// requests so every cached answer appended since the last fsync batch
+// is durable for the next start.
+func (s *Server) Close() error {
+	return s.qc.ClosePersist()
 }
 
 // Cache returns the shared cross-tenant query cache.
@@ -145,6 +187,11 @@ func (s *Server) AddTenant(name string, ps *ucqn.PatternSet, cat *ucqn.Catalog, 
 	if _, ok := s.tenants[name]; ok {
 		return nil, fmt.Errorf("server: tenant %q already registered", name)
 	}
+	if s.qc.Persist() != nil {
+		// The tenant name is the catalog's stable identity on disk: a
+		// restarted server warm-loads the tenant's answers by name.
+		cat.SetPersistentID(name)
+	}
 	s.tenants[name] = t
 	return t, nil
 }
@@ -158,13 +205,16 @@ func (s *Server) Tenant(name string) *Tenant {
 
 // Invalidate bumps the named tenant's catalog generation: its cached
 // answers stop matching and are re-derived from the sources on the next
-// query. Other tenants' entries are untouched.
+// query. Other tenants' entries are untouched. On a persistence-backed
+// server this also tombstones the tenant's persisted entries (the
+// bumped generation is appended to the log), so a later restart cannot
+// resurrect the invalidated answers.
 func (s *Server) Invalidate(name string) error {
 	t := s.Tenant(name)
 	if t == nil {
 		return fmt.Errorf("server: unknown tenant %q", name)
 	}
-	t.cat.Invalidate()
+	s.qc.InvalidateCatalog(t.cat)
 	return nil
 }
 
@@ -202,8 +252,10 @@ type Response struct {
 	Shed           bool                  `json:"shed"`
 	Degraded       bool                  `json:"degraded"`
 	Incompleteness *IncompletenessReport `json:"incompleteness,omitempty"`
-	Calls          int                   `json:"calls"`
-	ElapsedMS      float64               `json:"elapsed_ms"`
+	// Calls is the source-call attempts this request issued (0 when
+	// served entirely from cache or shed).
+	Calls     int     `json:"calls"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // Header names carrying the completeness contract alongside the body,
@@ -294,8 +346,8 @@ func (s *Server) Query(ctx context.Context, tenant, query string) (*Response, er
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if prof, ok := res.Profile(); ok {
-		resp.Calls = prof.Calls.BudgetSpent
-		t.calls.Add(int64(prof.Calls.BudgetSpent))
+		resp.Calls = prof.Calls.Total
+		t.calls.Add(int64(prof.Calls.Total))
 	}
 	if inc, ok := res.Incompleteness(); ok {
 		resp.Incompleteness = wireIncompleteness(inc)
@@ -367,16 +419,48 @@ type TenantStats struct {
 	Calls    int64 `json:"calls"`
 }
 
-// Stats reports the server's counters per tenant plus the shared cache.
+// InternerStats is the process-wide value interner's occupancy: how
+// many distinct values the columnar evaluator has interned and their
+// approximate resident bytes (monotonic gauges — the table is
+// append-only for the process lifetime).
+type InternerStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// PersistStats reports the persistence layer's health (zero value for
+// an in-memory server).
+type PersistStats struct {
+	// Enabled is true when the cache is persistence-backed.
+	Enabled bool `json:"enabled"`
+	// Dir is the persistence directory.
+	Dir string `json:"dir,omitempty"`
+	// Broken carries the first unrecoverable write failure, after which
+	// the server keeps running memory-only ("" while healthy).
+	Broken string `json:"broken,omitempty"`
+}
+
+// Stats reports the server's counters per tenant plus the shared cache,
+// the interner occupancy, and the persistence health.
 type Stats struct {
-	Tenants map[string]TenantStats `json:"tenants"`
-	Shed    int64                  `json:"shed"`
-	Cache   ucqn.QueryCacheStats   `json:"cache"`
+	Tenants  map[string]TenantStats `json:"tenants"`
+	Shed     int64                  `json:"shed"`
+	Cache    ucqn.QueryCacheStats   `json:"cache"`
+	Interner InternerStats          `json:"interner"`
+	Persist  PersistStats           `json:"persist"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	out := Stats{Tenants: map[string]TenantStats{}, Shed: s.sheds.Load(), Cache: s.qc.Stats()}
+	out.Interner.Entries, out.Interner.Bytes = engine.InternerOccupancy()
+	if lg := s.qc.Persist(); lg != nil {
+		out.Persist.Enabled = true
+		out.Persist.Dir = lg.Dir()
+		if err := lg.Err(); err != nil {
+			out.Persist.Broken = err.Error()
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for name, t := range s.tenants {

@@ -333,6 +333,7 @@ type Catalog struct {
 	byName map[string]Source
 	gen    atomic.Int64
 	id     atomic.Int64
+	pid    atomic.Pointer[string]
 }
 
 // catalogIDs hands out process-unique catalog identities; 0 is reserved
@@ -432,3 +433,33 @@ func (c *Catalog) Generation() int64 { return c.gen.Load() }
 // earlier generation will not be reused. Call it after mutating the
 // data behind any of the catalog's sources.
 func (c *Catalog) Invalidate() { c.gen.Add(1) }
+
+// SetPersistentID labels the catalog with a stable, operator-chosen
+// identity (e.g. the tenant name) that — unlike ID(), which is
+// process-local — survives restarts. A persistent answer cache keys its
+// on-disk state by this label; catalogs without one are never
+// persisted. The label must be unique per logical dataset: two catalogs
+// sharing a label are treated as the same data across restarts.
+func (c *Catalog) SetPersistentID(label string) { c.pid.Store(&label) }
+
+// PersistentID returns the label set by SetPersistentID ("" if none).
+func (c *Catalog) PersistentID() string {
+	if p := c.pid.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// AdvanceGeneration raises the catalog's generation to at least gen
+// (no-op when already past it). A persistent cache calls it during warm
+// restore to sync the live catalog past the generation its on-disk
+// entries were stored under, so recovered and freshly computed answers
+// share one fingerprint.
+func (c *Catalog) AdvanceGeneration(gen int64) {
+	for {
+		cur := c.gen.Load()
+		if cur >= gen || c.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
