@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke persist-smoke paperbench check
+.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke persist-smoke adapter-smoke paperbench check
 
 all: check
 
@@ -97,7 +97,21 @@ persist-smoke:
 	$(GO) test -race -count=1 ./internal/qcache/persist/
 	$(GO) test -race -count=1 -run='TestRunWarmRestart|TestValidateBenchReport' ./internal/server/
 
+# External-adapter smoke: the SQL and HTTP adapters over the in-repo
+# fakedb driver and httptest backends — the fault matrix (injected
+# latency, failed statements, 5xx/429/connection-refused, malformed
+# responses, open breakers), the batched-pushdown engine path, the
+# interner-cap hammer, and the adapter differential suite (every
+# adapter answer-equivalent to the in-memory relation it mirrors).
+# Under -race because batch demux and HTTP coalescing are concurrent by
+# design.
+adapter-smoke:
+	$(GO) test -race -count=1 ./internal/adapter/...
+	$(GO) test -race -count=1 -run='TestRuntimeBatch|TestBatchCapability|TestInternerCap' ./internal/engine/
+	$(GO) test -race -count=1 -run='TestAdapterDifferentialEquivalence|TestAdapterBatchedJoinEquivalence' .
+	$(GO) test -race -count=1 -run='TestRunBatchPushdown|TestMountCatalogConfig|TestValidateBenchReportE27' ./internal/server/
+
 paperbench:
 	$(GO) run ./cmd/paperbench -quick
 
-check: build vet lint test test-race persist-smoke
+check: build vet lint test test-race persist-smoke adapter-smoke

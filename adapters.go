@@ -1,0 +1,84 @@
+package ucqn
+
+// External source adapters: the facade over internal/adapter. An
+// adapter mounts a real backend — a SQL database via database/sql, an
+// HTTP endpoint speaking the JSON group protocol — as a limited-access
+// Source, so the whole stack (caching, breakers, replicas, budgets,
+// ANSWER* degradation) applies to external systems unchanged. Adapters
+// batch: they implement BatchSource, and the engine services a whole
+// deduplicated binding group in one wire round trip when the source
+// supports it.
+
+import (
+	"context"
+
+	"repro/internal/adapter"
+	"repro/internal/engine"
+	"repro/internal/sources"
+)
+
+// Adapter types.
+type (
+	// AdapterSpec describes one relation mounted on an external backend.
+	AdapterSpec = adapter.Spec
+	// CatalogConfig is one tenant's relations mapped onto backends.
+	CatalogConfig = adapter.CatalogConfig
+	// AdapterConfig is a parsed catalog config file (one or more tenants).
+	AdapterConfig = adapter.Config
+	// SQLAdapter is the database/sql-backed adapter ("sql://" scheme).
+	SQLAdapter = adapter.SQL
+	// HTTPAdapter is the JSON-group-protocol adapter ("http(s)://").
+	HTTPAdapter = adapter.HTTP
+	// HTTPBackend is the reference server for the JSON group protocol.
+	HTTPBackend = adapter.Backend
+	// BatchSource is a source that services a whole binding group in one
+	// round trip; the engine detects it via IsBatchCapable.
+	BatchSource = sources.BatchSource
+)
+
+// OpenAdapter builds the source for a spec, dispatching on the scheme
+// of spec.Backend (see RegisterAdapter).
+func OpenAdapter(spec AdapterSpec) (Source, error) { return adapter.Open(spec) }
+
+// RegisterAdapter installs an opener for a backend scheme.
+func RegisterAdapter(scheme string, open func(AdapterSpec) (Source, error)) {
+	adapter.Register(scheme, open)
+}
+
+// AdapterSchemes lists the registered backend schemes.
+func AdapterSchemes() []string { return adapter.Schemes() }
+
+// ParseCatalogConfig decodes a catalog config (single- or multi-tenant
+// JSON).
+func ParseCatalogConfig(data []byte) (*AdapterConfig, error) { return adapter.ParseConfig(data) }
+
+// LoadCatalogConfig reads and parses a catalog config file.
+func LoadCatalogConfig(path string) (*AdapterConfig, error) { return adapter.LoadConfig(path) }
+
+// NewHTTPBackend serves src over the JSON group protocol (mount it on
+// any http server to publish a source to remote HTTPAdapters).
+func NewHTTPBackend(src Source) *HTTPBackend { return adapter.NewBackend(src) }
+
+// IsBatchCapable reports whether calls to s can be batched — s (or the
+// bottom of its wrapper stack) genuinely services a group per round
+// trip.
+func IsBatchCapable(s Source) bool { return sources.IsBatchCapable(s) }
+
+// CallBatch services a group of input vectors against s: one round trip
+// when s is batch capable, a per-vector loop otherwise. Results align
+// with inputs.
+func CallBatch(ctx context.Context, s Source, p Pattern, inputs [][]string) ([][]Tuple, error) {
+	return sources.CallBatchWithContext(ctx, s, p, inputs)
+}
+
+// SetInternerCap bounds the process-wide value interner backing
+// columnar evaluation: at most maxEntries values and maxBytes
+// approximate resident bytes (0 = unlimited). Values beyond the cap
+// spill to execution-local tables — answers are unaffected; memory
+// stops growing. Cap traffic is surfaced in ExecProfile.Batch and the
+// server's /v1/stats.
+func SetInternerCap(maxEntries int, maxBytes int64) { engine.SetInternerCap(maxEntries, maxBytes) }
+
+// InternerCapStats reports how many intern attempts the cap refused and
+// whether the cap is currently reached.
+func InternerCapStats() (capHits int64, capped bool) { return engine.InternerCapStats() }

@@ -11,6 +11,12 @@
 //	$ ucqnd -addr :8099 -tenants 3 -quota 50
 //	$ curl -s localhost:8099/v1/query -d '{"tenant":"tenant-0","query":"Q(x, y) :- R(x, y)."}'
 //
+// With -catalog, tenants are mounted from an external-source catalog
+// config instead of (or in addition to) the built-in fixtures: each
+// configured tenant's relations live behind SQL or HTTP adapters
+// (sql://, http://, https:// backends) and batched pushdown applies
+// automatically where the backend supports it.
+//
 // Endpoints: POST /v1/query, POST /v1/invalidate, GET /v1/stats,
 // GET /v1/healthz.
 package main
@@ -26,6 +32,10 @@ import (
 	"time"
 
 	ucqn "repro"
+	// Registers the in-repo "fakedb" database/sql driver so catalog
+	// configs with sql://fakedb/... backends work out of the box (real
+	// deployments link their own driver the same way).
+	_ "repro/internal/adapter/fakedb"
 	"repro/internal/server"
 )
 
@@ -38,6 +48,7 @@ func main() {
 	quota := flag.Int("quota", 0, "per-request source-call quota per tenant (0 = unlimited)")
 	delay := flag.Duration("delay", 0, "artificial per-call source latency (provokes shedding under load)")
 	persist := flag.String("persist", "", "directory for the crash-safe answer-cache log (empty = memory only); restarts warm-load surviving entries")
+	catalog := flag.String("catalog", "", "external-source catalog config file (JSON); its tenants are mounted behind SQL/HTTP adapters")
 	flag.Parse()
 
 	s, err := server.Open(server.Config{
@@ -50,6 +61,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
 		os.Exit(1)
+	}
+	if *catalog != "" {
+		cfg, err := ucqn.LoadCatalogConfig(*catalog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := server.MountCatalogConfig(s, cfg, ucqn.Budget{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ucqnd: mounted %d external-source tenants from %s\n", len(cfg.Tenants), *catalog)
 	}
 	for _, f := range server.PaperTenants(*tenants) {
 		cat := f.Catalog()

@@ -1,0 +1,89 @@
+package adapter
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sources"
+)
+
+// CatalogConfig maps one tenant's relations onto external backends.
+type CatalogConfig struct {
+	// Tenant names the catalog; the server mounts it under this tenant
+	// and it becomes the catalog's persistent identity (answer-cache
+	// persistence keys on it).
+	Tenant string `json:"tenant"`
+	// Sources are the relations and their backends.
+	Sources []Spec `json:"sources"`
+}
+
+// Config is a parsed catalog config file: one catalog per tenant.
+type Config struct {
+	Tenants []CatalogConfig `json:"tenants"`
+}
+
+// ParseConfig decodes a catalog config. Both shapes are accepted: the
+// multi-tenant {"tenants": [...]} form and a bare single-tenant
+// {"tenant": ..., "sources": [...]} object.
+func ParseConfig(data []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("adapter: parsing catalog config: %w", err)
+	}
+	if len(cfg.Tenants) == 0 {
+		var single CatalogConfig
+		if err := json.Unmarshal(data, &single); err != nil {
+			return nil, fmt.Errorf("adapter: parsing catalog config: %w", err)
+		}
+		if len(single.Sources) > 0 {
+			cfg.Tenants = []CatalogConfig{single}
+		}
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("adapter: catalog config declares no tenants")
+	}
+	seen := map[string]bool{}
+	for i, t := range cfg.Tenants {
+		if t.Tenant == "" {
+			return nil, fmt.Errorf("adapter: catalog config tenant %d has no name", i)
+		}
+		if seen[t.Tenant] {
+			return nil, fmt.Errorf("adapter: catalog config declares tenant %s twice", t.Tenant)
+		}
+		seen[t.Tenant] = true
+		if len(t.Sources) == 0 {
+			return nil, fmt.Errorf("adapter: tenant %s declares no sources", t.Tenant)
+		}
+	}
+	return &cfg, nil
+}
+
+// LoadConfig reads and parses a catalog config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: reading catalog config: %w", err)
+	}
+	return ParseConfig(data)
+}
+
+// Open builds the tenant's catalog: every spec opened through the
+// registry, the catalog labeled with the tenant name (so answer-cache
+// persistence composes).
+func (t CatalogConfig) Open() (*sources.Catalog, error) {
+	srcs := make([]sources.Source, 0, len(t.Sources))
+	for _, spec := range t.Sources {
+		s, err := Open(spec)
+		if err != nil {
+			return nil, fmt.Errorf("adapter: tenant %s: %w", t.Tenant, err)
+		}
+		srcs = append(srcs, s)
+	}
+	cat, err := sources.NewCatalog(srcs...)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: tenant %s: %w", t.Tenant, err)
+	}
+	cat.SetPersistentID(t.Tenant)
+	return cat, nil
+}

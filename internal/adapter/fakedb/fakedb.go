@@ -1,0 +1,353 @@
+// Package fakedb is an in-repo database/sql driver for exercising the
+// SQL adapter without an external database. It understands exactly the
+// statement shapes internal/adapter generates —
+//
+//	SELECT c1, c2 FROM t
+//	SELECT c1, c2 FROM t WHERE a = ? [AND b = ?]
+//	SELECT c1, c2 FROM t WHERE a IN (?, ?, ...)
+//	SELECT c1, c2 FROM t WHERE (a = ? AND b = ?) OR (...)
+//
+// — over named in-memory stores (the DSN names the store), with
+// injectable latency and fault bursts and per-store counters for
+// queries and approximate bytes on the wire. Anything outside those
+// shapes is a loud error: the point is verifying the adapter's
+// generated SQL, not emulating a database.
+package fakedb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func init() {
+	sql.Register("fakedb", fdbDriver{})
+}
+
+var (
+	storesMu sync.Mutex
+	stores   = map[string]*Store{}
+)
+
+// StoreFor returns the named store, creating it on first use. The DSN
+// of a fakedb connection ("sql://fakedb/<name>") selects the store, so
+// tests load data through the same handle the adapter queries.
+func StoreFor(name string) *Store {
+	storesMu.Lock()
+	defer storesMu.Unlock()
+	st, ok := stores[name]
+	if !ok {
+		st = &Store{tables: map[string]*table{}}
+		stores[name] = st
+	}
+	return st
+}
+
+// Store is one named in-memory database.
+type Store struct {
+	mu      sync.Mutex
+	tables  map[string]*table
+	latency time.Duration
+	pending []error
+
+	queries atomic.Int64
+	bytes   atomic.Int64
+}
+
+type table struct {
+	cols []string
+	rows [][]string
+}
+
+// Load replaces a table's contents.
+func (s *Store) Load(name string, cols []string, rows [][]string) {
+	t := &table{cols: append([]string(nil), cols...)}
+	for _, r := range rows {
+		t.rows = append(t.rows, append([]string(nil), r...))
+	}
+	s.mu.Lock()
+	s.tables[name] = t
+	s.mu.Unlock()
+}
+
+// SetLatency makes every query sleep d before answering (honoring the
+// query context).
+func (s *Store) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+// FailNext makes the next n queries fail with err (a transient backend
+// outage when err looks like a connection problem).
+func (s *Store) FailNext(n int, err error) {
+	s.mu.Lock()
+	s.pending = s.pending[:0]
+	for i := 0; i < n; i++ {
+		s.pending = append(s.pending, err)
+	}
+	s.mu.Unlock()
+}
+
+// Queries returns the number of queries executed against the store
+// (failed ones included) — the backend-side round-trip count.
+func (s *Store) Queries() int64 { return s.queries.Load() }
+
+// BytesOnWire approximates payload bytes transferred: statement text
+// plus argument values plus every result cell.
+func (s *Store) BytesOnWire() int64 { return s.bytes.Load() }
+
+// Reset clears counters and injected faults (data stays loaded).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.pending = s.pending[:0]
+	s.latency = 0
+	s.mu.Unlock()
+	s.queries.Store(0)
+	s.bytes.Store(0)
+}
+
+// fdbDriver implements driver.Driver.
+type fdbDriver struct{}
+
+func (fdbDriver) Open(dsn string) (driver.Conn, error) {
+	return &conn{store: StoreFor(dsn)}, nil
+}
+
+// conn implements driver.Conn and driver.QueryerContext; database/sql
+// routes QueryContext straight here, so Prepare never runs for the
+// adapter's statements.
+type conn struct{ store *Store }
+
+func (c *conn) Prepare(q string) (driver.Stmt, error) {
+	return nil, fmt.Errorf("fakedb: prepared statements not supported (got %q)", q)
+}
+
+func (c *conn) Close() error { return nil }
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("fakedb: transactions not supported")
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(ctx context.Context, q string, args []driver.NamedValue) (driver.Rows, error) {
+	st := c.store
+	st.queries.Add(1)
+	st.mu.Lock()
+	lat := st.latency
+	var fault error
+	if len(st.pending) > 0 {
+		fault = st.pending[0]
+		st.pending = st.pending[1:]
+	}
+	st.mu.Unlock()
+	if lat > 0 {
+		timer := time.NewTimer(lat)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	vals := make([]string, len(args))
+	wire := int64(len(q))
+	for i, a := range args {
+		s, ok := a.Value.(string)
+		if !ok {
+			return nil, fmt.Errorf("fakedb: non-string argument %T", a.Value)
+		}
+		vals[i] = s
+		wire += int64(len(s))
+	}
+	cols, rows, err := st.run(q, vals)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		for _, cell := range r {
+			wire += int64(len(cell))
+		}
+	}
+	st.bytes.Add(wire)
+	return &resultRows{cols: cols, rows: rows}, nil
+}
+
+// run parses and evaluates one of the supported statement shapes.
+func (s *Store) run(q string, args []string) ([]string, [][]string, error) {
+	rest, ok := strings.CutPrefix(q, "SELECT ")
+	if !ok {
+		return nil, nil, fmt.Errorf("fakedb: unsupported statement %q", q)
+	}
+	colPart, rest, ok := strings.Cut(rest, " FROM ")
+	if !ok {
+		return nil, nil, fmt.Errorf("fakedb: no FROM in %q", q)
+	}
+	cols := strings.Split(colPart, ", ")
+	tblName, where, hasWhere := strings.Cut(rest, " WHERE ")
+
+	s.mu.Lock()
+	tbl, found := s.tables[tblName]
+	s.mu.Unlock()
+	if !found {
+		return nil, nil, fmt.Errorf("fakedb: no table %q", tblName)
+	}
+	colIdx := func(name string) (int, error) {
+		for i, c := range tbl.cols {
+			if c == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("fakedb: no column %q in table %q", name, tblName)
+	}
+
+	// Compile the WHERE clause to a row predicate.
+	match := func([]string) bool { return true }
+	switch {
+	case !hasWhere:
+	case strings.Contains(where, " IN ("):
+		colName, list, _ := strings.Cut(where, " IN (")
+		list = strings.TrimSuffix(list, ")")
+		n := len(strings.Split(list, ", "))
+		if n != len(args) {
+			return nil, nil, fmt.Errorf("fakedb: %d placeholders for %d args in %q", n, len(args), q)
+		}
+		idx, err := colIdx(colName)
+		if err != nil {
+			return nil, nil, err
+		}
+		want := make(map[string]bool, len(args))
+		for _, v := range args {
+			want[v] = true
+		}
+		match = func(row []string) bool { return want[row[idx]] }
+	case strings.HasPrefix(where, "("):
+		// OR of parenthesized conjunctions.
+		type conj struct {
+			idx  []int
+			vals []string
+		}
+		var conjs []conj
+		argPos := 0
+		for _, clause := range strings.Split(where, " OR ") {
+			clause = strings.TrimPrefix(clause, "(")
+			clause = strings.TrimSuffix(clause, ")")
+			var cj conj
+			for _, term := range strings.Split(clause, " AND ") {
+				colName, ok := strings.CutSuffix(term, " = ?")
+				if !ok {
+					return nil, nil, fmt.Errorf("fakedb: unsupported term %q in %q", term, q)
+				}
+				idx, err := colIdx(colName)
+				if err != nil {
+					return nil, nil, err
+				}
+				if argPos >= len(args) {
+					return nil, nil, fmt.Errorf("fakedb: too few args for %q", q)
+				}
+				cj.idx = append(cj.idx, idx)
+				cj.vals = append(cj.vals, args[argPos])
+				argPos++
+			}
+			conjs = append(conjs, cj)
+		}
+		if argPos != len(args) {
+			return nil, nil, fmt.Errorf("fakedb: %d args for %d placeholders in %q", len(args), argPos, q)
+		}
+		match = func(row []string) bool {
+			for _, cj := range conjs {
+				hit := true
+				for k, idx := range cj.idx {
+					if row[idx] != cj.vals[k] {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					return true
+				}
+			}
+			return false
+		}
+	default:
+		// Plain conjunction: a = ? [AND b = ?].
+		terms := strings.Split(where, " AND ")
+		if len(terms) != len(args) {
+			return nil, nil, fmt.Errorf("fakedb: %d terms for %d args in %q", len(terms), len(args), q)
+		}
+		var idxs []int
+		for _, term := range terms {
+			colName, ok := strings.CutSuffix(term, " = ?")
+			if !ok {
+				return nil, nil, fmt.Errorf("fakedb: unsupported term %q in %q", term, q)
+			}
+			idx, err := colIdx(colName)
+			if err != nil {
+				return nil, nil, err
+			}
+			idxs = append(idxs, idx)
+		}
+		match = func(row []string) bool {
+			for k, idx := range idxs {
+				if row[idx] != args[k] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Project the selected columns from every matching row.
+	proj := make([]int, len(cols))
+	for i, c := range cols {
+		idx, err := colIdx(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj[i] = idx
+	}
+	var out [][]string
+	for _, row := range tbl.rows {
+		if !match(row) {
+			continue
+		}
+		r := make([]string, len(proj))
+		for i, idx := range proj {
+			r[i] = row[idx]
+		}
+		out = append(out, r)
+	}
+	return cols, out, nil
+}
+
+// resultRows implements driver.Rows.
+type resultRows struct {
+	cols []string
+	rows [][]string
+	pos  int
+}
+
+func (r *resultRows) Columns() []string { return r.cols }
+func (r *resultRows) Close() error      { return nil }
+
+func (r *resultRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	for i, v := range r.rows[r.pos] {
+		dest[i] = v
+	}
+	r.pos++
+	return nil
+}

@@ -1,0 +1,357 @@
+package adapter
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/sources"
+)
+
+func init() {
+	Register("sql", openSQL)
+}
+
+// SQL adapts a relational table behind database/sql to a limited-access
+// source: an adorned access compiles to a parameterized
+//
+//	SELECT cols FROM table WHERE in-col = ? [AND ...]
+//
+// and a whole binding group compiles to ONE round trip per MaxBatch
+// chunk —
+//
+//	SELECT cols FROM table WHERE in-col IN (?, ?, ...)
+//
+// for single-input patterns, an OR of per-vector conjunctions for
+// multi-input ones — with the returned rows demultiplexed back to their
+// binding by input-column value. Everything the engine sees is the
+// ordinary Source contract: the pushdown only changes how many wire
+// round trips a step costs.
+//
+// Driver and DSN come from the backend URL ("sql://driver/dsn"); the
+// driver must be registered with database/sql by the importing program
+// (tests and the daemons use the in-repo fakedb driver; real
+// deployments blank-import their driver of choice). It is safe for
+// concurrent use.
+type SQL struct {
+	name     string
+	arity    int
+	patterns []access.Pattern
+	declared map[access.Pattern]bool
+	table    string
+	cols     []string
+	maxBatch int
+	db       *sql.DB
+
+	mu    sync.Mutex
+	stats sources.Stats
+}
+
+// openSQL builds a SQL adapter from a spec (scheme "sql").
+func openSQL(spec Spec) (sources.Source, error) {
+	rest := strings.TrimPrefix(spec.Backend, "sql://")
+	driver, dsn, ok := strings.Cut(rest, "/")
+	if !ok || driver == "" || dsn == "" {
+		return nil, fmt.Errorf("adapter: source %s: sql backend %q must be sql://driver/dsn", spec.Name, spec.Backend)
+	}
+	ps, err := spec.patterns()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Table == "" {
+		return nil, fmt.Errorf("adapter: source %s: sql backend needs a table", spec.Name)
+	}
+	if len(spec.Columns) != spec.Arity {
+		return nil, fmt.Errorf("adapter: source %s: %d columns for arity %d", spec.Name, len(spec.Columns), spec.Arity)
+	}
+	for _, ident := range append([]string{spec.Table}, spec.Columns...) {
+		if !validIdent(ident) {
+			return nil, fmt.Errorf("adapter: source %s: %q is not a plain SQL identifier", spec.Name, ident)
+		}
+	}
+	db, err := sql.Open(driver, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: source %s: opening %s: %w", spec.Name, spec.Backend, err)
+	}
+	a := &SQL{
+		name:     spec.Name,
+		arity:    spec.Arity,
+		patterns: ps,
+		declared: map[access.Pattern]bool{},
+		table:    spec.Table,
+		cols:     append([]string(nil), spec.Columns...),
+		maxBatch: spec.maxBatch(),
+		db:       db,
+	}
+	for _, p := range ps {
+		a.declared[p] = true
+	}
+	return a, nil
+}
+
+// validIdent accepts exactly the unquoted-identifier charset, which is
+// the only thing ever interpolated into generated SQL (values always
+// travel as placeholders).
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Source.
+func (a *SQL) Name() string { return a.name }
+
+// Arity implements Source.
+func (a *SQL) Arity() int { return a.arity }
+
+// Patterns implements Source.
+func (a *SQL) Patterns() []access.Pattern {
+	return append([]access.Pattern(nil), a.patterns...)
+}
+
+// DB exposes the underlying pool (for tests and shutdown).
+func (a *SQL) DB() *sql.DB { return a.db }
+
+// Close releases the connection pool.
+func (a *SQL) Close() error { return a.db.Close() }
+
+// checkContract enforces the access-pattern restriction at the call
+// boundary, like every in-memory source.
+func (a *SQL) checkContract(p access.Pattern, nInputs int) error {
+	if !a.declared[p] {
+		return fmt.Errorf("adapter: source %s does not support pattern %s (has %v)", a.name, p, a.patterns)
+	}
+	if nInputs != p.InputCount() {
+		return fmt.Errorf("adapter: call to %s^%s with %d inputs, want %d", a.name, p, nInputs, p.InputCount())
+	}
+	return nil
+}
+
+// inCols returns the column names of p's input positions, in slot order.
+func (a *SQL) inCols(p access.Pattern) []string {
+	var cols []string
+	for j := 0; j < p.Arity(); j++ {
+		if p.Input(j) {
+			cols = append(cols, a.cols[j])
+		}
+	}
+	return cols
+}
+
+// Call implements Source.
+func (a *SQL) Call(p access.Pattern, inputs []string) ([]sources.Tuple, error) {
+	return a.CallContext(context.Background(), p, inputs)
+}
+
+// CallContext implements ContextSource: one parameterized SELECT.
+func (a *SQL) CallContext(ctx context.Context, p access.Pattern, inputs []string) ([]sources.Tuple, error) {
+	if err := a.checkContract(p, len(inputs)); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT %s FROM %s", strings.Join(a.cols, ", "), a.table)
+	args := make([]any, 0, len(inputs))
+	for k, col := range a.inCols(p) {
+		if k == 0 {
+			sb.WriteString(" WHERE ")
+		} else {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString(col + " = ?")
+		args = append(args, inputs[k])
+	}
+	start := time.Now()
+	rows, err := a.query(ctx, sb.String(), args)
+	a.meter(1, 1, len(rows), time.Since(start))
+	return rows, err
+}
+
+// CallBatch implements sources.BatchSource: the whole binding group in
+// ceil(n/MaxBatch) round trips, results demultiplexed back per vector
+// by their input-column values.
+func (a *SQL) CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]sources.Tuple, error) {
+	for _, in := range inputs {
+		if err := a.checkContract(p, len(in)); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]sources.Tuple, len(inputs))
+	nin := p.InputCount()
+	if nin == 0 {
+		// All-output: one SELECT answers every vector identically.
+		start := time.Now()
+		rows, err := a.query(ctx, fmt.Sprintf("SELECT %s FROM %s", strings.Join(a.cols, ", "), a.table), nil)
+		a.meter(len(inputs), 1, len(rows)*len(inputs), time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = copyRows(rows)
+		}
+		return out, nil
+	}
+	// Input slot j of the pattern is relation position inPos[j].
+	inPos := make([]int, 0, nin)
+	for j := 0; j < p.Arity(); j++ {
+		if p.Input(j) {
+			inPos = append(inPos, j)
+		}
+	}
+	inCols := a.inCols(p)
+	for lo := 0; lo < len(inputs); lo += a.maxBatch {
+		hi := lo + a.maxBatch
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		chunk := inputs[lo:hi]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "SELECT %s FROM %s WHERE ", strings.Join(a.cols, ", "), a.table)
+		args := make([]any, 0, len(chunk)*nin)
+		if nin == 1 {
+			sb.WriteString(inCols[0] + " IN (")
+			for k, in := range chunk {
+				if k > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("?")
+				args = append(args, in[0])
+			}
+			sb.WriteString(")")
+		} else {
+			for k, in := range chunk {
+				if k > 0 {
+					sb.WriteString(" OR ")
+				}
+				sb.WriteString("(")
+				for c, col := range inCols {
+					if c > 0 {
+						sb.WriteString(" AND ")
+					}
+					sb.WriteString(col + " = ?")
+					args = append(args, in[c])
+				}
+				sb.WriteString(")")
+			}
+		}
+		// Demux map: input key -> the chunk's vector indexes wanting it
+		// (duplicates within a batch each get the rows).
+		want := make(map[string][]int, len(chunk))
+		for k, in := range chunk {
+			want[strings.Join(in, "\x1f")] = append(want[strings.Join(in, "\x1f")], lo+k)
+		}
+		start := time.Now()
+		rows, err := a.query(ctx, sb.String(), args)
+		if err != nil {
+			a.meter(len(chunk), 1, 0, time.Since(start))
+			return nil, err
+		}
+		tuples := 0
+		keyParts := make([]string, nin)
+		for _, row := range rows {
+			for c, pos := range inPos {
+				keyParts[c] = row[pos]
+			}
+			for _, i := range want[strings.Join(keyParts, "\x1f")] {
+				out[i] = append(out[i], append(sources.Tuple(nil), row...))
+				tuples++
+			}
+		}
+		a.meter(len(chunk), 1, tuples, time.Since(start))
+	}
+	return out, nil
+}
+
+// query runs one SELECT and scans every row into string tuples. Driver
+// and connection failures are transient (the backend may come back);
+// context errors pass through untouched so the engine's timeout and
+// cancellation classification work exactly as for in-memory sources.
+func (a *SQL) query(ctx context.Context, q string, args []any) ([]sources.Tuple, error) {
+	rs, err := a.db.QueryContext(ctx, q, args...)
+	if err != nil {
+		return nil, a.wireErr(err)
+	}
+	defer rs.Close()
+	var out []sources.Tuple
+	vals := make([]sql.NullString, a.arity)
+	ptrs := make([]any, a.arity)
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	for rs.Next() {
+		if err := rs.Scan(ptrs...); err != nil {
+			return nil, a.wireErr(err)
+		}
+		t := make(sources.Tuple, a.arity)
+		for i := range vals {
+			t[i] = vals[i].String
+		}
+		out = append(out, t)
+	}
+	if err := rs.Err(); err != nil {
+		return nil, a.wireErr(err)
+	}
+	return out, nil
+}
+
+func (a *SQL) wireErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return sources.Transient(fmt.Errorf("adapter: sql %s: %w", a.name, err))
+}
+
+// meter folds one round trip into the traffic counters: calls is the
+// logical calls serviced, trips the wire round trips, tuples the tuples
+// delivered to callers.
+func (a *SQL) meter(calls, trips, tuples int, el time.Duration) {
+	a.mu.Lock()
+	a.stats.Calls += calls
+	a.stats.TuplesReturned += tuples
+	if trips > 0 {
+		a.stats.RoundTrips += trips
+		if calls > trips {
+			a.stats.BatchedCalls += calls
+		}
+		a.stats.Observe(el)
+	}
+	a.mu.Unlock()
+}
+
+// StatsSnapshot implements StatsReporter.
+func (a *SQL) StatsSnapshot() sources.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ResetStats implements StatsReporter.
+func (a *SQL) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = sources.Stats{}
+}
+
+func copyRows(rows []sources.Tuple) []sources.Tuple {
+	out := make([]sources.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = append(sources.Tuple(nil), r...)
+	}
+	return out
+}

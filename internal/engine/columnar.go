@@ -58,9 +58,71 @@ type colPool struct {
 	nBatches  atomic.Int64 // batches run through applyStepCol
 	nInterned atomic.Int64 // tuple values newly interned this execution
 	nReuses   atomic.Int64 // column buffers served from the free list
+
+	// Spill table: values the process-wide interner's cap refused
+	// (SetInternerCap) get execution-local IDs at or above spillBase,
+	// resolving here instead. The table dies with the execution, so a
+	// tenant streaming unbounded distinct values pays for them only
+	// while its own query runs.
+	spillMu   sync.RWMutex
+	spillIDs  map[string]uint32
+	spillStrs []string
 }
 
 func newColPool() *colPool { return &colPool{} }
+
+// internID resolves a value to an ID for this execution: the spill
+// table first — a value this execution already spilled must keep its
+// spill ID even if another execution interned it globally since — then
+// the global interner, interning under the cap, then a fresh spill
+// entry. fresh reports a new global intern (Profile.Batch accounting).
+func (p *colPool) internID(s string) (id uint32, fresh bool) {
+	p.spillMu.RLock()
+	if p.spillIDs != nil {
+		if id, ok := p.spillIDs[s]; ok {
+			p.spillMu.RUnlock()
+			return id, false
+		}
+	}
+	p.spillMu.RUnlock()
+	if id, ok := interned.lookup(s); ok {
+		return id, false
+	}
+	if id, fresh, ok := interned.tryID(s); ok {
+		return id, fresh
+	}
+	p.spillMu.Lock()
+	if p.spillIDs == nil {
+		p.spillIDs = map[string]uint32{}
+	}
+	if id, ok := p.spillIDs[s]; ok {
+		p.spillMu.Unlock()
+		return id, false
+	}
+	id = spillBase + uint32(len(p.spillStrs))
+	p.spillStrs = append(p.spillStrs, s)
+	p.spillIDs[s] = id
+	p.spillMu.Unlock()
+	return id, false
+}
+
+// str resolves an ID assigned by internID back to its value.
+func (p *colPool) str(id uint32) string {
+	if id < spillBase {
+		return interned.str(id)
+	}
+	p.spillMu.RLock()
+	s := p.spillStrs[id-spillBase]
+	p.spillMu.RUnlock()
+	return s
+}
+
+// spilled returns the number of values this execution spilled.
+func (p *colPool) spilled() int {
+	p.spillMu.RLock()
+	defer p.spillMu.RUnlock()
+	return len(p.spillStrs)
+}
 
 // getCol returns a column of length n, reusing a free buffer when one
 // is large enough.
@@ -130,6 +192,7 @@ func (p *colPool) batchProfile() BatchProfile {
 		BatchesProcessed: int(p.nBatches.Load()),
 		InternedValues:   int(p.nInterned.Load()),
 		ArenaReuses:      int(p.nReuses.Load()),
+		SpilledValues:    p.spilled(),
 	}
 }
 
@@ -223,8 +286,9 @@ type ruleProgram struct {
 // fails: structural problems (unbound inputs, unsafe heads) become lazy
 // errors raised exactly where the per-binding evaluator would raise
 // them. Compilation is cheap (linear in the plan) and runs once per
-// rule per execution.
-func compileRule(q logic.CQ, steps []access.AdornedLiteral) *ruleProgram {
+// rule per execution. Constants intern through the execution's pool so
+// a capped interner spills them instead of growing the global table.
+func compileRule(q logic.CQ, steps []access.AdornedLiteral, pool *colPool) *ruleProgram {
 	prog := &ruleProgram{rule: q, steps: make([]stepProgram, len(steps))}
 	slotOf := map[string]int{}
 	var bound []bool // indexed by slot
@@ -248,7 +312,7 @@ func compileRule(q logic.CQ, steps []access.AdornedLiteral) *ruleProgram {
 			}
 			switch {
 			case t.IsConst():
-				id, _ := interned.id(t.Name)
+				id, _ := pool.internID(t.Name)
 				sp.inputs = append(sp.inputs, inputSrc{slot: -1, constID: id})
 			case t.IsVar():
 				if s, ok := slotOf[t.Name]; ok && bound[s] {
@@ -269,7 +333,7 @@ func compileRule(q logic.CQ, steps []access.AdornedLiteral) *ruleProgram {
 			switch {
 			case t.IsConst():
 				a.role = argConst
-				a.constID, _ = interned.id(t.Name)
+				a.constID, _ = pool.internID(t.Name)
 			case t.IsVar():
 				if s, ok := slotOf[t.Name]; ok && bound[s] {
 					a.role = argBound
@@ -331,16 +395,16 @@ func compileRule(q logic.CQ, steps []access.AdornedLiteral) *ruleProgram {
 
 // materializeInputs builds the string inputs of one distinct call (the
 // only place input strings materialize; deduped rows never do).
-func (sp *stepProgram) materializeInputs(in *colBatch, row int) []string {
+func (sp *stepProgram) materializeInputs(in *colBatch, row int, pool *colPool) []string {
 	if len(sp.inputs) == 0 {
 		return nil
 	}
 	out := make([]string, len(sp.inputs))
 	for k, s := range sp.inputs {
 		if s.slot >= 0 {
-			out[k] = interned.str(in.cols[s.slot][row])
+			out[k] = pool.str(in.cols[s.slot][row])
 		} else {
-			out[k] = interned.str(s.constID)
+			out[k] = pool.str(s.constID)
 		}
 	}
 	return out
@@ -371,7 +435,7 @@ func (sp *stepProgram) buildJoin(rows []sources.Tuple, pool *colPool) *callJoin 
 		vals := j.vals[ti*arity : (ti+1)*arity]
 		ok := true
 		for p := 0; p < arity && ok; p++ {
-			id, fresh := interned.id(t[p])
+			id, fresh := pool.internID(t[p])
 			if fresh {
 				pool.nInterned.Add(1)
 			}
@@ -447,13 +511,13 @@ func (rt *Runtime) applyStepCol(ctx context.Context, prog *ruleProgram, si int, 
 				sp.DedupedCalls++
 				continue
 			}
-			c := &stepCall{inputs: sp0.materializeInputs(in, i)}
+			c := &stepCall{inputs: sp0.materializeInputs(in, i, pool)}
 			byKey[string(keyBuf)] = c
 			calls = append(calls, c)
 			callOf[i] = c
 			continue
 		}
-		c := &stepCall{inputs: sp0.materializeInputs(in, i)}
+		c := &stepCall{inputs: sp0.materializeInputs(in, i, pool)}
 		calls = append(calls, c)
 		callOf[i] = c
 	}
@@ -577,7 +641,7 @@ func (prog *ruleProgram) headKey(b *colBatch, i int, buf []byte) []byte {
 
 // headRowCol materializes the answer row for one batch row: the only
 // place head strings leave the interned domain.
-func (prog *ruleProgram) headRowCol(b *colBatch, i int) Row {
+func (prog *ruleProgram) headRowCol(b *colBatch, i int, pool *colPool) Row {
 	row := make(Row, len(prog.head))
 	for k := range prog.head {
 		switch h := &prog.head[k]; h.kind {
@@ -586,7 +650,7 @@ func (prog *ruleProgram) headRowCol(b *colBatch, i int) Row {
 		case headConst:
 			row[k] = h.val
 		default:
-			row[k] = V(interned.str(b.cols[h.slot][i]))
+			row[k] = V(pool.str(b.cols[h.slot][i]))
 		}
 	}
 	return row
@@ -598,7 +662,7 @@ func (prog *ruleProgram) headRowCol(b *colBatch, i int) Row {
 // reference).
 func (rt *Runtime) runStepsCol(ctx context.Context, q logic.CQ, steps []access.AdornedLiteral, cat *sources.Catalog, out *Rel, prof *RuleProfile, budget *budgetState, pool *colPool) error {
 	ruleStart := time.Now()
-	prog := compileRule(q, steps)
+	prog := compileRule(q, steps, pool)
 	cur := pool.getBatch(prog.numSlots)
 	cur.n = 1 // the single empty binding
 	for si := range prog.steps {
@@ -654,7 +718,7 @@ func (rt *Runtime) runStepsCol(ctx context.Context, q logic.CQ, steps []access.A
 			continue
 		}
 		seen[string(keyBuf)] = struct{}{}
-		if out.Add(prog.headRowCol(cur, i)) && prof != nil {
+		if out.Add(prog.headRowCol(cur, i, pool)) && prof != nil {
 			prof.Answers++
 		}
 	}

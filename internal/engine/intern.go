@@ -37,6 +37,15 @@ type valueInterner struct {
 	n      uint32     // next ID to assign
 	bytes  int64      // approximate resident bytes of interned values
 	chunks atomic.Pointer[[][]string]
+
+	// Admission cap (SetInternerCap): the interner is process-wide and
+	// append-only, so without a bound an adversarial tenant streaming
+	// unbounded distinct strings grows it forever. When the cap is
+	// reached, tryID refuses and the columnar evaluator spills the value
+	// to an execution-local table instead (colPool.internID).
+	maxEntries atomic.Int64 // 0 = unlimited
+	maxBytes   atomic.Int64 // 0 = unlimited
+	capHits    atomic.Int64 // intern attempts refused by the cap
 }
 
 // internEntryOverhead approximates the per-entry cost beyond the value
@@ -57,14 +66,45 @@ var interned = newValueInterner()
 // id returns the ID for s, assigning a fresh one on first sight, and
 // reports whether the value was new. Any byte string round-trips,
 // including "" and non-UTF-8 data: the interner stores values verbatim.
+// id ignores the admission cap; cap-aware callers use tryID.
 func (in *valueInterner) id(s string) (uint32, bool) {
+	id, fresh, _ := in.intern(s, false)
+	return id, fresh
+}
+
+// lookup returns the ID of an already-interned value without interning.
+func (in *valueInterner) lookup(s string) (uint32, bool) {
 	if v, ok := in.ids.Load(s); ok {
-		return v.(uint32), false
+		return v.(uint32), true
+	}
+	return 0, false
+}
+
+// tryID is id under the admission cap: ok=false means the cap refused
+// the value (and nothing was interned) — the caller must resolve it
+// some other way.
+func (in *valueInterner) tryID(s string) (id uint32, fresh, ok bool) {
+	return in.intern(s, true)
+}
+
+// intern is the shared implementation of id and tryID.
+func (in *valueInterner) intern(s string, capped bool) (uint32, bool, bool) {
+	if v, ok := in.ids.Load(s); ok {
+		return v.(uint32), false, true
 	}
 	in.mu.Lock()
 	if v, ok := in.ids.Load(s); ok {
 		in.mu.Unlock()
-		return v.(uint32), false
+		return v.(uint32), false, true
+	}
+	if capped {
+		maxN, maxB := in.maxEntries.Load(), in.maxBytes.Load()
+		if (maxN > 0 && int64(in.n) >= maxN) ||
+			(maxB > 0 && in.bytes+int64(len(s))+internEntryOverhead > maxB) {
+			in.mu.Unlock()
+			in.capHits.Add(1)
+			return 0, false, false
+		}
 	}
 	id := in.n
 	if id == math.MaxUint32 {
@@ -87,7 +127,7 @@ func (in *valueInterner) id(s string) (uint32, bool) {
 	// happens-before every str(id).
 	in.ids.Store(s, id)
 	in.mu.Unlock()
-	return id, true
+	return id, true, true
 }
 
 // str returns the string for an ID previously assigned by id. IDs are
@@ -112,4 +152,50 @@ func InternerOccupancy() (entries int, bytes int64) {
 	interned.mu.Lock()
 	defer interned.mu.Unlock()
 	return int(interned.n), interned.bytes
+}
+
+// spillBase is the first execution-local spill ID: IDs at or above it
+// resolve through the execution's colPool spill table, never the
+// process-wide interner. SetInternerCap clamps the entry cap below it,
+// so the two ID spaces cannot collide.
+const spillBase uint32 = 1 << 31
+
+// SetInternerCap bounds the process-wide value interner: at most
+// maxEntries values and maxBytes approximate resident bytes (0 means
+// unlimited for either). Values refused by the cap are not lost — the
+// columnar evaluator resolves them through an execution-local spill
+// table at some per-execution cost — so answers are unaffected; the cap
+// only bounds what adversarial tenant input can pin in process memory
+// forever. Already-interned values stay interned: the cap gates
+// admission, it does not evict.
+//
+// Cap hits are surfaced in ExecProfile.Batch (InternerCapHits,
+// SpilledValues) and the server's /v1/stats.
+func SetInternerCap(maxEntries int, maxBytes int64) {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	// Clamp below the spill ID space; 2^31-1 entries is far beyond any
+	// real memory budget anyway.
+	if maxEntries != 0 && int64(maxEntries) >= int64(spillBase) {
+		maxEntries = int(spillBase - 1)
+	}
+	interned.maxEntries.Store(int64(maxEntries))
+	interned.maxBytes.Store(maxBytes)
+}
+
+// InternerCapStats reports how often the interner cap refused an intern
+// attempt (a process-lifetime counter) and whether the cap is currently
+// reached — i.e. whether new distinct values are being spilled.
+func InternerCapStats() (capHits int64, capped bool) {
+	hits := interned.capHits.Load()
+	maxN, maxB := interned.maxEntries.Load(), interned.maxBytes.Load()
+	interned.mu.Lock()
+	n, bytes := int64(interned.n), interned.bytes
+	interned.mu.Unlock()
+	capped = (maxN > 0 && n >= maxN) || (maxB > 0 && bytes+internEntryOverhead >= maxB)
+	return hits, capped
 }

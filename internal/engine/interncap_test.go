@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Hammer the interner cap: a workload streaming unbounded distinct
+// strings through the columnar evaluator must (1) stop growing the
+// process-wide table once the cap is reached, (2) keep returning
+// correct answers through the execution-local spill table, and (3)
+// surface the cap in the profile.
+func TestInternerCapSpillsWithoutWrongAnswers(t *testing.T) {
+	entries0, _ := InternerOccupancy()
+	SetInternerCap(entries0+64, 0)
+	defer SetInternerCap(0, 0)
+
+	q := ucq(t, `Q(x, y) :- R(x, z), T(z, y).`)
+	ps := pats(t, `R^oo T^io`)
+	rt := NewRuntime()
+
+	// Several executions, each with a fresh universe of distinct values
+	// far beyond the remaining cap headroom.
+	for round := 0; round < 4; round++ {
+		in := NewInstance()
+		for i := 0; i < 300; i++ {
+			x := fmt.Sprintf("hammer_r%d_x%d", round, i)
+			z := fmt.Sprintf("hammer_r%d_z%d", round, i%30)
+			in.MustAdd("R", x, z)
+		}
+		for z := 0; z < 30; z++ {
+			in.MustAdd("T", fmt.Sprintf("hammer_r%d_z%d", round, z), fmt.Sprintf("hammer_r%d_y%d", round, z))
+		}
+		ans, prof, err := rt.AnswerProfiled(context.Background(), q, ps, in.MustCatalog(ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != 300 {
+			t.Fatalf("round %d: answers = %d, want 300", round, ans.Len())
+		}
+		// The values never seen before the cap filled must have spilled.
+		if round > 0 {
+			if prof.Batch.SpilledValues == 0 {
+				t.Fatalf("round %d: no spilled values under a full cap", round)
+			}
+			if prof.Batch.InternerCapHits == 0 || !prof.Batch.InternerCapped {
+				t.Fatalf("round %d: cap not surfaced in profile: %+v", round, prof.Batch)
+			}
+		}
+		// Spot-check answer contents, not just cardinality.
+		want := RowOf(fmt.Sprintf("hammer_r%d_x0", round), fmt.Sprintf("hammer_r%d_y0", round))
+		if !ans.Contains(want) {
+			t.Fatalf("round %d: missing answer %v", round, want)
+		}
+	}
+
+	entries1, _ := InternerOccupancy()
+	if entries1 > entries0+64 {
+		t.Fatalf("cap did not bound the interner: %d -> %d entries (cap %d)", entries0, entries1, entries0+64)
+	}
+	if hits, capped := InternerCapStats(); hits == 0 || !capped {
+		t.Fatalf("cap stats hits=%d capped=%v, want refusals and a full cap", hits, capped)
+	}
+}
+
+// Concurrent executions under a full cap: spill tables are
+// execution-local, so parallel queries over disjoint value universes
+// must not interfere (exercised by -race).
+func TestInternerCapConcurrentSpill(t *testing.T) {
+	entries0, _ := InternerOccupancy()
+	SetInternerCap(entries0, 0) // no headroom at all: everything new spills
+	defer SetInternerCap(0, 0)
+
+	q := ucq(t, `Q(x, y) :- R(x, z), T(z, y).`)
+	ps := pats(t, `R^oo T^io`)
+	rt := NewRuntime()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := NewInstance()
+			for i := 0; i < 80; i++ {
+				in.MustAdd("R", fmt.Sprintf("cc_g%d_x%d", g, i), fmt.Sprintf("cc_g%d_z%d", g, i%8))
+			}
+			for z := 0; z < 8; z++ {
+				in.MustAdd("T", fmt.Sprintf("cc_g%d_z%d", g, z), fmt.Sprintf("cc_g%d_y%d", g, z))
+			}
+			ans, err := rt.Answer(context.Background(), q, ps, in.MustCatalog(ps))
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			if ans.Len() != 80 {
+				t.Errorf("goroutine %d: answers = %d, want 80", g, ans.Len())
+				return
+			}
+			if !ans.Contains(RowOf(fmt.Sprintf("cc_g%d_x0", g), fmt.Sprintf("cc_g%d_y0", g))) {
+				t.Errorf("goroutine %d: wrong answer contents", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	entries1, _ := InternerOccupancy()
+	if entries1 != entries0 {
+		t.Fatalf("zero-headroom cap admitted %d new entries", entries1-entries0)
+	}
+}
+
+// The cap must also hold on the streamed pipeline (it shares colPool).
+func TestInternerCapStreamSpill(t *testing.T) {
+	entries0, _ := InternerOccupancy()
+	SetInternerCap(entries0, 0)
+	defer SetInternerCap(0, 0)
+
+	q := ucq(t, `Q(x, y) :- R(x, z), T(z, y).`)
+	ps := pats(t, `R^oo T^io`)
+	in := NewInstance()
+	for i := 0; i < 50; i++ {
+		in.MustAdd("R", fmt.Sprintf("st_x%d", i), fmt.Sprintf("st_z%d", i%5))
+	}
+	for z := 0; z < 5; z++ {
+		in.MustAdd("T", fmt.Sprintf("st_z%d", z), fmt.Sprintf("st_y%d", z))
+	}
+	stream, err := NewRuntime().Stream(context.Background(), q, ps, in.MustCatalog(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 50 {
+		t.Fatalf("streamed answers = %d, want 50", rel.Len())
+	}
+	if entries1, _ := InternerOccupancy(); entries1 != entries0 {
+		t.Fatalf("stream grew the capped interner by %d", entries1-entries0)
+	}
+}

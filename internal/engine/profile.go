@@ -38,6 +38,13 @@ type StepProfile struct {
 	// HedgeWins counts calls whose winning rows came from a hedged
 	// backup attempt rather than the primary.
 	HedgeWins int
+	// BatchGroups counts the binding groups this step serviced through a
+	// batch-capable source as batched round trips (each group is one
+	// wire call per attempt, counted once in Calls).
+	BatchGroups int
+	// BatchedCalls counts the distinct logical calls covered by those
+	// groups — calls that did NOT each pay a wire round trip.
+	BatchedCalls int
 	// MaxInFlight is the peak number of concurrent calls the step had
 	// outstanding against the source.
 	MaxInFlight int
@@ -57,6 +64,9 @@ func (sp StepProfile) String() string {
 	}
 	if sp.HedgedCalls > 0 {
 		s += fmt.Sprintf(" hedged=%d(won %d)", sp.HedgedCalls, sp.HedgeWins)
+	}
+	if sp.BatchGroups > 0 {
+		s += fmt.Sprintf(" batched=%d/%d", sp.BatchedCalls, sp.BatchGroups)
 	}
 	if sp.MaxInFlight > 1 {
 		s += fmt.Sprintf(" inflight≤%d", sp.MaxInFlight)
@@ -98,6 +108,12 @@ type CallsProfile struct {
 	Hedged int
 	// HedgeWins counts calls whose winning rows came from a backup leg.
 	HedgeWins int
+	// BatchGroups counts the binding groups serviced as batched round
+	// trips through batch-capable sources (adapters); each group is one
+	// wire call per attempt.
+	BatchGroups int
+	// BatchedCalls counts the logical calls covered by those groups.
+	BatchedCalls int
 	// MaxInFlight is the peak per-step call concurrency seen anywhere in
 	// the plan.
 	MaxInFlight int
@@ -153,6 +169,12 @@ type BatchProfile struct {
 	// ArenaReuses counts column buffers served from the execution's
 	// recycling pool instead of fresh allocations.
 	ArenaReuses int
+	// SpilledValues counts values this execution could not intern
+	// because the process-wide interner hit its configured cap
+	// (SetInternerCap) and instead resolved through the execution-local
+	// spill table. Nonzero spills mean the cap is protecting the process
+	// from unbounded distinct input, at some per-execution cost.
+	SpilledValues int
 	// InternerEntries and InternerBytes are the process-wide value
 	// interner's occupancy (entry count and approximate resident bytes),
 	// snapshotted when the execution finished. The interner is
@@ -160,6 +182,11 @@ type BatchProfile struct {
 	// deltas.
 	InternerEntries int
 	InternerBytes   int64
+	// InternerCapHits is the process-wide count of intern attempts
+	// refused by the cap (a monotonic gauge, like the occupancy);
+	// InternerCapped reports whether the cap is currently reached.
+	InternerCapHits int64
+	InternerCapped  bool
 }
 
 // Profile is the execution profile of a whole plan. Counter groups:
@@ -198,7 +225,14 @@ func (p *Profile) finalize() {
 	c := &p.Calls
 	c.Total, c.Deduped, c.Retries, c.Hedged, c.HedgeWins, c.MaxInFlight =
 		p.TotalCalls(), p.TotalDeduped(), p.TotalRetries(), p.HedgedCalls(), p.HedgeWins(), p.MaxInFlight()
+	for _, r := range p.Rules {
+		for _, s := range r.Steps {
+			c.BatchGroups += s.BatchGroups
+			c.BatchedCalls += s.BatchedCalls
+		}
+	}
 	p.Batch.InternerEntries, p.Batch.InternerBytes = InternerOccupancy()
+	p.Batch.InternerCapHits, p.Batch.InternerCapped = InternerCapStats()
 }
 
 // BudgetSpent returns Calls.BudgetSpent.
@@ -391,6 +425,13 @@ func (p Profile) String() string {
 	if p.Batch.BatchesProcessed > 0 {
 		fmt.Fprintf(&b, "batches: %d processed, %d values interned, %d buffers reused\n",
 			p.Batch.BatchesProcessed, p.Batch.InternedValues, p.Batch.ArenaReuses)
+	}
+	if p.Batch.SpilledValues > 0 {
+		fmt.Fprintf(&b, "interner capped: %d value(s) spilled to execution-local table\n", p.Batch.SpilledValues)
+	}
+	if p.Calls.BatchGroups > 0 {
+		fmt.Fprintf(&b, "pushdown: %d call(s) batched into %d round-trip group(s)\n",
+			p.Calls.BatchedCalls, p.Calls.BatchGroups)
 	}
 	if h := p.HedgedCalls(); h > 0 {
 		fmt.Fprintf(&b, "hedged: %d backup call(s), %d won\n", h, p.HedgeWins())

@@ -594,13 +594,29 @@ func (rt *Runtime) applyStep(ctx context.Context, step access.AdornedLiteral, ca
 // issue drives the step's distinct calls through the bounded worker
 // pool and records traffic into sp. On failure every distinct error is
 // reported (joined), and outstanding calls are cancelled.
+//
+// When the source is genuinely batch-capable (a SQL or HTTP adapter, or
+// a resilience wrapper around one) and the step produced more than one
+// distinct call, the whole group is serviced as batched round trips
+// instead: see issueBatch. A batch failure other than budget/context
+// exhaustion falls back to the per-call pool below, so adapters degrade
+// through exactly the failure classes plain sources produce.
 func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.AdornedLiteral, calls []*stepCall, sp *StepProfile, budget *budgetState) error {
 	if len(calls) == 0 {
 		return nil
 	}
 	name := step.Literal.Atom.Pred
 	var gauge inFlightGauge
-	if workers := rt.workers(len(calls)); workers <= 1 {
+	handled := false
+	if len(calls) > 1 && sources.IsBatchCapable(src) {
+		if _, hedged := rt.hedgeTarget(src); !hedged {
+			handled = rt.issueBatch(ctx, src, step, calls, sp, budget, &gauge)
+		}
+	}
+	if handled {
+		// issueBatch filled rows (or the error) on every call; fall
+		// through to the shared aggregation loop.
+	} else if workers := rt.workers(len(calls)); workers <= 1 {
 		for _, c := range calls {
 			c.rows, c.stats, c.err = rt.callWithRetry(ctx, src, name, step.Pattern, c.inputs, &gauge, budget)
 			if c.err != nil {
@@ -667,4 +683,99 @@ func (rt *Runtime) issue(ctx context.Context, src sources.Source, step access.Ad
 		return errors.Join(errs...)
 	}
 	return cancelled
+}
+
+// issueBatch services the step's distinct calls as one batched round
+// trip (retried whole per the retry policy, each attempt charged one
+// budget unit and bounded by the per-call deadline — the batch IS one
+// wire call). On success every call's rows are filled and it reports
+// true. Budget exhaustion and caller cancellation are terminal: the
+// error lands on the first call — matching the sequential loop, where
+// later calls stay unissued — and it reports true. Any other failure
+// reports false, handing the whole group to the per-call path so the
+// error surface is identical to a non-batching source.
+func (rt *Runtime) issueBatch(ctx context.Context, src sources.Source, step access.AdornedLiteral, calls []*stepCall, sp *StepProfile, budget *budgetState, gauge *inFlightGauge) bool {
+	name := step.Literal.Atom.Pred
+	inputs := make([][]string, len(calls))
+	for i, c := range calls {
+		inputs[i] = c.inputs
+	}
+	sem := rt.sourceSem(name)
+	max := rt.Retry.attempts()
+	var attempts int
+	var groups [][]sources.Tuple
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = budget.charge(); err != nil {
+			break
+		}
+		var launched bool
+		groups, launched, err = rt.runBatchLeg(ctx, sem, gauge, src, name, step.Pattern, inputs)
+		if !launched {
+			budget.refund()
+			break
+		}
+		attempts++
+		if err == nil || attempt >= max || !rt.Retry.isRetryable(err) || ctx.Err() != nil {
+			break
+		}
+		if d := rt.Retry.backoff(attempt); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				err = ctx.Err()
+			}
+			if err != nil && ctx.Err() != nil {
+				break
+			}
+		}
+	}
+	sp.Calls += attempts
+	if attempts > 1 {
+		sp.Retries += attempts - 1
+	}
+	if err == nil {
+		sp.BatchGroups++
+		sp.BatchedCalls += len(calls)
+		for i, c := range calls {
+			c.rows = groups[i]
+		}
+		return true
+	}
+	if errors.Is(err, ErrCallBudget) || errors.Is(err, context.Canceled) || ctx.Err() != nil {
+		calls[0].err = err
+		return true
+	}
+	return false
+}
+
+// runBatchLeg is runLeg for one batched round-trip attempt: per-source
+// slot, per-call deadline, in-flight gauge, deadline-to-transient
+// conversion.
+func (rt *Runtime) runBatchLeg(ctx context.Context, sem chan struct{}, gauge *inFlightGauge, src sources.Source, name string, p access.Pattern, inputs [][]string) (groups [][]sources.Tuple, launched bool, err error) {
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		defer func() { <-sem }()
+	}
+	cctx, cancel := ctx, context.CancelFunc(nil)
+	if rt.CallTimeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, rt.CallTimeout)
+	}
+	gauge.enter()
+	groups, err = sources.CallBatchWithContext(cctx, src, p, inputs)
+	gauge.leave()
+	if cancel != nil {
+		cancel()
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = sources.Transient(fmt.Errorf("engine: %s^%s: batch of %d timed out after %v",
+				name, p, len(inputs), rt.CallTimeout))
+		}
+	}
+	return groups, true, err
 }

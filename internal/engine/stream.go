@@ -344,7 +344,7 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 	ruleStart := time.Now()
 	rp.Rule = p.rule.Clone()
 	rp.Steps = make([]StepProfile, len(p.steps))
-	prog := compileRule(p.rule, p.steps)
+	prog := compileRule(p.rule, p.steps, pool)
 
 	// Stages run under rctx; in partial mode it is rule-local, so a
 	// dropped disjunct's teardown cannot touch the other rules.
@@ -457,7 +457,7 @@ func (rt *Runtime) runPipeline(ctx context.Context, p rulePipeline, cat *sources
 				keyBuf = prog.headKey(batch, ri, keyBuf[:0])
 				row, ok := rowCache[string(keyBuf)]
 				if !ok {
-					row = prog.headRowCol(batch, ri)
+					row = prog.headRowCol(batch, ri, pool)
 					rowCache[string(keyBuf)] = row
 				}
 				rows = append(rows, row)

@@ -265,10 +265,9 @@ func validateE26(raw map[string]json.RawMessage) error {
 	if r.PersistLoads <= 0 {
 		return fmt.Errorf("bench report: persist_loads = %d, want > 0", r.PersistLoads)
 	}
-	if r.WarmP50MS >= r.ColdP50MS {
-		return fmt.Errorf("bench report: warm p50 %.3fms did not drop below cold %.3fms",
-			r.WarmP50MS, r.ColdP50MS)
-	}
+	// No p50 gate: the fixture mix hits the in-memory cache within a
+	// pass, so both medians sit in the microsecond noise floor (see the
+	// ColdP50MS comment) — the mean is the enforceable contrast.
 	if r.WarmMeanMS >= r.ColdMeanMS {
 		return fmt.Errorf("bench report: warm mean %.3fms did not drop below cold %.3fms",
 			r.WarmMeanMS, r.ColdMeanMS)

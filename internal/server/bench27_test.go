@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	ucqn "repro"
+	"repro/internal/adapter"
+	"repro/internal/adapter/fakedb"
+)
+
+func TestValidateBenchReportE27(t *testing.T) {
+	good := &BatchPushdownReport{
+		Experiment: "E27",
+		Config:     BatchPushdownConfig{Bindings: 256, Fanout: 4, Iters: 7, LatencyMS: 1},
+		Bindings:   256, Answers: 1024,
+		PerCall:        PushdownModeStats{Calls: 257, RoundTrips: 256, BytesOnWire: 12000, P50MS: 300, P99MS: 310},
+		Batched:        PushdownModeStats{Calls: 257, RoundTrips: 1, BytesOnWire: 3500, P50MS: 3, P99MS: 4},
+		RoundTripRatio: 256,
+		EqualAnswers:   true,
+	}
+	data, _ := json.Marshal(good)
+	if err := ValidateBenchReport(data); err != nil {
+		t.Fatalf("valid E27 report rejected: %v", err)
+	}
+	remarshal := func(mutate func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, _ := json.Marshal(m)
+		return out
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { delete(m, "round_trip_ratio") })); err == nil {
+		t.Error("missing round_trip_ratio must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { m["bindings"] = "many" })); err == nil {
+		t.Error("non-numeric bindings must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { m["bindings"] = 100.0 })); err == nil {
+		t.Error("bindings below 256 must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { m["equal_answers"] = false })); err == nil {
+		t.Error("equal_answers=false must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { m["answers"] = 0.0 })); err == nil {
+		t.Error("zero answers must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) {
+		m["per_call"] = map[string]any{"calls": 257, "round_trips": 5, "bytes_on_wire": 12000, "p50_ms": 300.0, "p99_ms": 310.0}
+	})); err == nil {
+		t.Error("less than 10x round-trip reduction must fail validation")
+	}
+	if err := ValidateBenchReport(remarshal(func(m map[string]any) { m["round_trip_ratio"] = 2.0 })); err == nil {
+		t.Error("round_trip_ratio below 10 must fail validation")
+	}
+}
+
+// The E27 harness end to end at a small size: the batched mode must
+// reach the 10x round-trip bar with identical answers, and the report
+// must pass the committed-artifact schema gate.
+func TestRunBatchPushdown(t *testing.T) {
+	rep, err := RunBatchPushdown(context.Background(),
+		BatchPushdownConfig{Bindings: 256, Fanout: 2, Iters: 2, LatencyMS: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EqualAnswers {
+		t.Fatal("per-call and batched answers diverge")
+	}
+	if rep.Answers != 256*2 {
+		t.Errorf("answers = %d, want %d", rep.Answers, 256*2)
+	}
+	if rep.PerCall.RoundTrips < 10*rep.Batched.RoundTrips {
+		t.Errorf("round trips %d vs %d: batching saved less than 10x",
+			rep.PerCall.RoundTrips, rep.Batched.RoundTrips)
+	}
+	if rep.Batched.BytesOnWire >= rep.PerCall.BytesOnWire {
+		t.Errorf("batched wire bytes %d did not drop below per-call %d",
+			rep.Batched.BytesOnWire, rep.PerCall.BytesOnWire)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Errorf("E27 report fails its own schema gate: %v", err)
+	}
+}
+
+// A catalog config file mounts straight onto the multi-tenant server:
+// the tenant's relations live behind the SQL adapter and are queryable
+// over the HTTP API.
+func TestMountCatalogConfig(t *testing.T) {
+	st := fakedb.StoreFor("mount_test")
+	st.Reset()
+	st.Load("edges", []string{"src", "dst"}, [][]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"},
+	})
+	cfg := &adapter.Config{Tenants: []adapter.CatalogConfig{{
+		Tenant: "graph",
+		Sources: []adapter.Spec{{
+			Name: "E", Arity: 2, Patterns: []string{"oo", "io"},
+			Backend: "sql://fakedb/mount_test", Table: "edges", Columns: []string{"src", "dst"},
+		}},
+	}}}
+	s := New(Config{})
+	if err := MountCatalogConfig(s, cfg, ucqn.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tenant("graph") == nil {
+		t.Fatal("tenant not registered")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _, code := post(t, ts.URL, "graph", `Q(x, y) :- E(x, y).`)
+	if code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	if got := relOf(resp.Answers); got.Len() != 3 {
+		t.Fatalf("answers = %d, want 3", got.Len())
+	}
+
+	// A second mount of the same tenant name must fail.
+	if err := MountCatalogConfig(s, cfg, ucqn.Budget{}); err == nil {
+		t.Fatal("duplicate tenant mount must fail")
+	}
+}

@@ -1,0 +1,36 @@
+package server
+
+// Mounting external-source catalogs. A catalog config file (see
+// internal/adapter: one or more tenants, each a list of backend specs)
+// maps directly onto the multi-tenant server: every tenant in the
+// config becomes a registered tenant whose relations live behind SQL or
+// HTTP adapters, with the access-pattern set derived from the opened
+// sources. cmd/ucqnd feeds its -catalog flag through here.
+
+import (
+	"fmt"
+
+	ucqn "repro"
+	"repro/internal/adapter"
+)
+
+// MountCatalogConfig opens every tenant in cfg and registers it on s.
+// Each tenant's sources are opened through the adapter registry, so the
+// schemes in the config decide the backends. A zero quota inherits the
+// server default. On error no partial tenant set is rolled back — the
+// caller should treat the server as tainted and rebuild it.
+func MountCatalogConfig(s *Server, cfg *adapter.Config, quota ucqn.Budget) error {
+	if cfg == nil {
+		return fmt.Errorf("server: nil catalog config")
+	}
+	for _, tc := range cfg.Tenants {
+		cat, err := tc.Open()
+		if err != nil {
+			return fmt.Errorf("server: tenant %q: %w", tc.Tenant, err)
+		}
+		if _, err := s.AddTenant(tc.Tenant, cat.PatternSet(), cat, quota); err != nil {
+			return err
+		}
+	}
+	return nil
+}

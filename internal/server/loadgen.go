@@ -240,7 +240,8 @@ func WriteBenchReport(path string, r *LoadReport) error {
 // required keys present with the right JSON types and sane values. It
 // dispatches on the experiment tag — "E24" is the serving load report
 // (LoadReport), "E25" the columnar evaluator report (ColumnarReport),
-// "E26" the warm-restart report (WarmRestartReport). CI runs it on the
+// "E26" the warm-restart report (WarmRestartReport), "E27" the batched
+// pushdown report (BatchPushdownReport). CI runs it on the
 // harness outputs so a drifting schema fails the build, not a later
 // comparison script.
 func ValidateBenchReport(data []byte) error {
@@ -263,8 +264,10 @@ func ValidateBenchReport(data []byte) error {
 		return validateE25(raw)
 	case "E26":
 		return validateE26(raw)
+	case "E27":
+		return validateE27(raw)
 	default:
-		return fmt.Errorf("bench report: experiment = %q, want E24, E25, or E26", exp)
+		return fmt.Errorf("bench report: experiment = %q, want E24, E25, E26, or E27", exp)
 	}
 }
 

@@ -422,10 +422,14 @@ type TenantStats struct {
 // InternerStats is the process-wide value interner's occupancy: how
 // many distinct values the columnar evaluator has interned and their
 // approximate resident bytes (monotonic gauges — the table is
-// append-only for the process lifetime).
+// append-only for the process lifetime), plus the cap's traffic when
+// one is configured: how many intern attempts were refused (and spilled
+// to execution-local tables) and whether the cap is currently reached.
 type InternerStats struct {
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	CapHits int64 `json:"cap_hits"`
+	Capped  bool  `json:"capped"`
 }
 
 // PersistStats reports the persistence layer's health (zero value for
@@ -454,6 +458,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	out := Stats{Tenants: map[string]TenantStats{}, Shed: s.sheds.Load(), Cache: s.qc.Stats()}
 	out.Interner.Entries, out.Interner.Bytes = engine.InternerOccupancy()
+	out.Interner.CapHits, out.Interner.Capped = engine.InternerCapStats()
 	if lg := s.qc.Persist(); lg != nil {
 		out.Persist.Enabled = true
 		out.Persist.Dir = lg.Dir()

@@ -238,6 +238,23 @@ func (b *Breaker) CallContext(ctx context.Context, p access.Pattern, inputs []st
 	return rows, err
 }
 
+// BatchCapable reports whether the wrapped source genuinely batches.
+func (b *Breaker) BatchCapable() bool { return IsBatchCapable(b.inner) }
+
+// CallBatch implements BatchSource. A batch is one wire round trip, so
+// it is one admission decision and one recorded outcome — a failing
+// backend trips the breaker at the same rate whether callers batch or
+// not.
+func (b *Breaker) CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	probe, err := b.admit()
+	if err != nil {
+		return nil, err
+	}
+	groups, err := CallBatchWithContext(ctx, b.inner, p, inputs)
+	b.record(probe, err)
+	return groups, err
+}
+
 // State returns the breaker's current position, advancing an expired
 // open circuit to half-open first so callers observe the state a call
 // would see.

@@ -158,6 +158,99 @@ func (c *Cached) CallContext(ctx context.Context, p access.Pattern, inputs []str
 	}
 }
 
+// BatchCapable reports whether the wrapped source genuinely batches;
+// the cache layer itself adds no round trips either way.
+func (c *Cached) BatchCapable() bool { return IsBatchCapable(c.inner) }
+
+// CallBatch implements BatchSource: cached keys are answered locally
+// and only the misses travel to the inner source, as one inner batch.
+// Keys already being fetched by another goroutine are joined through
+// the per-key singleflight path rather than fetched again. Any failure
+// fails the whole batch (the caller falls back to per-vector calls).
+func (c *Cached) CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]Tuple, len(inputs))
+	var joined []int // indexes delegated to CallContext (flight in progress)
+	var missKeys []string
+	var missInputs [][]string
+	pending := map[string][]int{}   // miss key -> batch indexes waiting on it
+	flights := map[string]*flight{} // miss key -> flight we registered
+
+	c.mu.Lock()
+	for i, in := range inputs {
+		key := string(p) + "\x00" + strings.Join(in, "\x1f")
+		if idxs, ok := pending[key]; ok { // duplicate within the batch
+			pending[key] = append(idxs, i)
+			continue
+		}
+		if elem, ok := c.cache[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(elem)
+			out[i] = copyTuples(elem.Value.(*cacheEntry).rows)
+			continue
+		}
+		if _, ok := c.inflight[key]; ok {
+			joined = append(joined, i)
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		flights[key] = f
+		pending[key] = []int{i}
+		missKeys = append(missKeys, key)
+		missInputs = append(missInputs, in)
+	}
+	gen := c.gen
+	c.mu.Unlock()
+
+	var groups [][]Tuple
+	var err error
+	if len(missInputs) > 0 {
+		groups, err = CallBatchWithContext(ctx, c.inner, p, missInputs)
+	}
+	c.mu.Lock()
+	for k, key := range missKeys {
+		f := flights[key]
+		if err != nil {
+			f.err = err
+		} else {
+			f.rows = copyTuples(groups[k])
+			if gen == c.gen {
+				c.misses++
+				c.install(key, f.rows)
+			}
+		}
+		if gen == c.gen {
+			delete(c.inflight, key)
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range flights {
+		close(f.done)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for k, key := range missKeys {
+		for _, i := range pending[key] {
+			out[i] = copyTuples(groups[k])
+		}
+	}
+	// Keys another goroutine was already fetching go through the normal
+	// singleflight wait (which also handles a leader dying of its own
+	// context's cancellation).
+	for _, i := range joined {
+		rows, err := c.CallContext(ctx, p, inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
 // isContextError reports whether err is a context cancellation or
 // deadline expiry — the error classes that belong to one caller's
 // context rather than to the source.

@@ -87,6 +87,28 @@ func (s *Delayed) CallContext(ctx context.Context, p access.Pattern, inputs []st
 	return rows, err
 }
 
+// BatchCapable reports whether the wrapped source genuinely batches.
+func (s *Delayed) BatchCapable() bool { return IsBatchCapable(s.inner) }
+
+// CallBatch implements BatchSource: the batch is one round trip, so it
+// pays the simulated latency once, then forwards the whole group.
+func (s *Delayed) CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	start := s.clockNow()
+	if s.d > 0 {
+		if err := s.sleep(ctx, s.d); err != nil {
+			return nil, err
+		}
+	}
+	groups, err := CallBatchWithContext(ctx, s.inner, p, inputs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		el := s.clockNow().Sub(start)
+		s.mu.Lock()
+		s.lat.Observe(el)
+		s.mu.Unlock()
+	}
+	return groups, err
+}
+
 // StatsSnapshot implements StatsReporter by forwarding to the wrapped
 // source — metered traffic is unaffected by the added latency — and
 // overlaying the end-to-end latency observed here (delay included),

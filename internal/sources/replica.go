@@ -440,6 +440,58 @@ func (rs *ReplicaSet) CallContext(ctx context.Context, p access.Pattern, inputs 
 	return nil, rs.ExhaustedError(tried, errs)
 }
 
+// BatchCapable reports whether every replica genuinely batches —
+// failover may route a batch to any member, so one per-binding replica
+// makes the whole set per-binding.
+func (rs *ReplicaSet) BatchCapable() bool {
+	for _, r := range rs.replicas {
+		if !IsBatchCapable(r.src) {
+			return false
+		}
+	}
+	return true
+}
+
+// CallBatchReplica sends one batch to one specific replica through its
+// quarantine breaker, feeding the outcome into that replica's health
+// tracking exactly like CallReplica.
+func (rs *ReplicaSet) CallBatchReplica(ctx context.Context, idx int, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	if idx < 0 || idx >= len(rs.replicas) {
+		return nil, fmt.Errorf("sources: replica set %s has no replica %d", rs.name, idx)
+	}
+	r := rs.replicas[idx]
+	start := rs.now()
+	groups, err := r.brk.CallBatch(ctx, p, inputs)
+	r.observe(rs.now().Sub(start), err, rs.cfg.alpha())
+	return groups, err
+}
+
+// CallBatch implements BatchSource: the whole group fails over down the
+// ranked replica order as a unit, so batched and per-binding calls see
+// the same failure classes (ReplicasError on exhaustion).
+func (rs *ReplicaSet) CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	for _, in := range inputs {
+		if err := rs.checkContract(p, in); err != nil {
+			return nil, err
+		}
+	}
+	order := rs.Ranked()
+	tried := make([]int, 0, len(order))
+	errs := make([]error, 0, len(order))
+	for _, idx := range order {
+		groups, err := rs.CallBatchReplica(ctx, idx, p, inputs)
+		if err == nil {
+			return groups, nil
+		}
+		tried = append(tried, idx)
+		errs = append(errs, err)
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, rs.ExhaustedError(tried, errs)
+}
+
 // ExhaustedError builds the error for a call that failed on the listed
 // replicas (errs[i] belongs to replica tried[i]). The engine's hedged
 // call path uses it so hedged and sequential-failover failures classify

@@ -59,6 +59,18 @@ type Stats struct {
 	TotalLatency time.Duration // sum of observed call latencies
 	MaxLatency   time.Duration // slowest observed call
 	EWMALatency  time.Duration // moving average (alpha DefaultEWMAAlpha)
+
+	// Batch round trips: a BatchSource that services a whole binding
+	// group in one request counts it as one round trip covering
+	// BatchedCalls logical calls. Plain per-binding sources leave both
+	// zero.
+	RoundTrips   int // wire round trips made by CallBatch
+	BatchedCalls int // logical calls covered by those round trips
+
+	// Rate limiting: sources with a client-side limiter (the HTTP/JSON
+	// adapter) record how often and how long calls waited for a token.
+	RateLimitWaits int           // calls that had to wait for the limiter
+	RateLimitWait  time.Duration // total time spent waiting
 }
 
 // DefaultEWMAAlpha is the smoothing factor of the latency moving
@@ -100,6 +112,10 @@ func (s Stats) MeanLatency() time.Duration {
 func (s *Stats) Add(other Stats) {
 	s.Calls += other.Calls
 	s.TuplesReturned += other.TuplesReturned
+	s.RoundTrips += other.RoundTrips
+	s.BatchedCalls += other.BatchedCalls
+	s.RateLimitWaits += other.RateLimitWaits
+	s.RateLimitWait += other.RateLimitWait
 	s.TotalLatency += other.TotalLatency
 	if other.MaxLatency > s.MaxLatency {
 		s.MaxLatency = other.MaxLatency
@@ -142,6 +158,70 @@ func CallWithContext(ctx context.Context, s Source, p access.Pattern, inputs []s
 		return cs.CallContext(ctx, p, inputs)
 	}
 	return s.Call(p, inputs)
+}
+
+// BatchSource is implemented by sources that can service a whole group
+// of calls — same pattern, distinct input vectors — in one wire round
+// trip (a SQL adapter compiles the group into one IN (...) query; an
+// HTTP adapter posts the group as one request). The engine's call layer
+// detects the capability on the catalog source and groups per-step
+// calls through it; wrappers (Cached, Breaker, ReplicaSet, Delayed)
+// forward the capability so the whole resilience stack stays
+// batch-transparent.
+type BatchSource interface {
+	Source
+	// CallBatch answers every input vector of the group through pattern
+	// p. Result group i holds exactly the tuples Call(p, inputs[i])
+	// would return; the outer slice is aligned with inputs. A batch
+	// either succeeds as a whole or fails as a whole: on error the
+	// caller falls back to per-vector calls, so no new failure class is
+	// introduced.
+	CallBatch(ctx context.Context, p access.Pattern, inputs [][]string) ([][]Tuple, error)
+}
+
+// batchCapable is implemented by wrappers whose CallBatch method exists
+// statically but only pays off when the wrapped source can actually
+// batch. IsBatchCapable consults it so a Breaker around a plain Table
+// does not masquerade as a one-round-trip source.
+type batchCapable interface{ BatchCapable() bool }
+
+// IsBatchCapable reports whether calling s through CallBatch genuinely
+// services the group in batched round trips, i.e. whether s — or, for
+// wrappers, the source at the bottom of the stack — implements the
+// batching itself. The engine uses this to decide when to charge one
+// budget unit for a whole group.
+func IsBatchCapable(s Source) bool {
+	bs, ok := s.(BatchSource)
+	if !ok {
+		return false
+	}
+	if c, ok := bs.(batchCapable); ok {
+		return c.BatchCapable()
+	}
+	return true
+}
+
+// CallBatchWithContext services a group of calls through s, in batched
+// round trips when s is genuinely batch-capable and one per-vector call
+// otherwise. Results are aligned with inputs. In the fallback path the
+// first per-vector error aborts the batch, matching the all-or-nothing
+// contract of CallBatch.
+func CallBatchWithContext(ctx context.Context, s Source, p access.Pattern, inputs [][]string) ([][]Tuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if IsBatchCapable(s) {
+		return s.(BatchSource).CallBatch(ctx, p, inputs)
+	}
+	out := make([][]Tuple, len(inputs))
+	for i, in := range inputs {
+		rows, err := CallWithContext(ctx, s, p, in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+	}
+	return out, nil
 }
 
 // transientError marks a source failure as transient: the call may
