@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke persist-smoke adapter-smoke paperbench check
+.PHONY: all build vet test test-race lint bench bench-smoke fault-smoke cache-smoke chaos-smoke serve-smoke persist-smoke adapter-smoke fleet-smoke paperbench check
 
 all: check
 
@@ -111,7 +111,20 @@ adapter-smoke:
 	$(GO) test -race -count=1 -run='TestAdapterDifferentialEquivalence|TestAdapterBatchedJoinEquivalence' .
 	$(GO) test -race -count=1 -run='TestRunBatchPushdown|TestMountCatalogConfig|TestValidateBenchReportE27' ./internal/server/
 
+# Fleet smoke: the shared-cache fleet under fire — the kill-the-writer
+# chaos suite (seeded crash/takeover/resurrection rounds on a virtual
+# clock: takeover within TTL + one poll, a fenced writer's late write
+# never leaks, acked entries always survive, no goroutine or fd leaks),
+# the lease/follower/inbox property tests including the
+# compaction-vs-follower seqlock interleavings, and the two-replica
+# server E2E (warm start off a sibling, fleet-wide invalidation, E28
+# harness). Under -race because replicas share one directory by design.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/qcache/fleet/
+	$(GO) test -race -count=1 -run='TestLease|TestFollower|TestInbox|TestReadInboxes' ./internal/qcache/persist/
+	$(GO) test -race -count=1 -run='TestServerFleet|TestRunFleetShare|TestServerHealthzDegraded|TestLoadGenInvalidationMix' ./internal/server/
+
 paperbench:
 	$(GO) run ./cmd/paperbench -quick
 
-check: build vet lint test test-race persist-smoke adapter-smoke
+check: build vet lint test test-race persist-smoke adapter-smoke fleet-smoke

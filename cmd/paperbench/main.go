@@ -36,7 +36,7 @@ import (
 
 var (
 	quick    = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
-	benchOut = flag.String("bench-out", "", "write the bench report of the experiment being run (E25, E26, or E27, with -run) to this path")
+	benchOut = flag.String("bench-out", "", "write the bench report of the experiment being run (E25–E28, with -run) to this path")
 )
 
 func main() {
@@ -74,6 +74,7 @@ func main() {
 		{"E25", "columnar batch evaluation: map-based vs columnar hot loop", e25},
 		{"E26", "crash-safe answer cache: cold start vs warm restart", e26},
 		{"E27", "external adapters: batched IN pushdown vs per-call round trips", e27},
+		{"E28", "cache fleet: sibling warm start and fleet-wide invalidation", e28},
 	}
 	found := false
 	for _, e := range experiments {
@@ -1547,6 +1548,56 @@ func e27() {
 	fmt.Printf("bindings: %d  answers: %d  round-trip ratio: %.0fx  equal answers: %v\n",
 		rep.Bindings, rep.Answers, rep.RoundTripRatio, rep.EqualAnswers)
 	fmt.Println("expected: the batched mode services the whole binding group in a handful of IN statements (≥10x fewer round trips), moves fewer wire bytes, and returns byte-identical answers")
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		data = append(data, '\n')
+		if err := server.ValidateBenchReport(data); err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+}
+
+// --- E28 ----------------------------------------------------------------
+
+func e28() {
+	// Cache-fleet sharing: replica A (the writer) opens over an empty
+	// shared directory and serves the fixture mix twice (cold, then
+	// steady); replica B joins the live fleet as a reader, refreshes
+	// once, and serves the mix at A's steady-state source-call count —
+	// the shared directory, not B's sources, pays for the pass. Then an
+	// invalidation issued on B (through its durable inbox, not the
+	// log) must re-derive the tenant on BOTH replicas.
+	delayMS := 2.0
+	if *quick {
+		delayMS = 1.0
+	}
+	dir, err := os.MkdirTemp("", "ucqn-e28-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := server.RunFleetShare(context.Background(), dir,
+		server.FleetShareConfig{Tenants: 3, DelayMS: delayMS})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-10s %10s %12s %12s\n", "pass", "calls", "p50", "mean")
+	fmt.Printf("%-10s %10d %12s %12s\n", "A cold", rep.ColdCalls, fmtMS(rep.ColdP50MS), fmtMS(rep.ColdMeanMS))
+	fmt.Printf("%-10s %10d %12s %12s\n", "A steady", rep.SteadyCalls, fmtMS(rep.SteadyP50MS), fmtMS(rep.SteadyMeanMS))
+	fmt.Printf("%-10s %10d %12s %12s\n", "B warm", rep.WarmCalls, fmtMS(rep.WarmP50MS), fmtMS(rep.WarmMeanMS))
+	fmt.Printf("roles: A=%s B=%s  reader-issued invalidation gen %d re-derived: B paid %d calls, A paid %d; sound: %v\n",
+		rep.RoleA, rep.RoleB, rep.InvalidationGen,
+		rep.PostInvalidationCallsB, rep.PostInvalidationCallsA, rep.Sound)
+	fmt.Println("expected: replica B's warm pass matches A's steady-state call count (≈0) — the fleet directory serviced it — and the fleet-wide invalidation forces both replicas back to the sources for exactly the killed tenant")
 
 	if *benchOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -48,15 +48,30 @@ func main() {
 	quota := flag.Int("quota", 0, "per-request source-call quota per tenant (0 = unlimited)")
 	delay := flag.Duration("delay", 0, "artificial per-call source latency (provokes shedding under load)")
 	persist := flag.String("persist", "", "directory for the crash-safe answer-cache log (empty = memory only); restarts warm-load surviving entries")
+	fleetDir := flag.String("fleet-dir", "", "shared answer-cache directory joining this replica to a cache fleet (mutually exclusive with -persist); siblings warm-start from answers this replica pays for and vice versa")
+	fleetID := flag.String("fleet-id", "", "stable unique replica name within the fleet (default hostname-pid)")
+	fleetTTL := flag.Duration("fleet-ttl", 0, "fleet writer-lease TTL (0 = 10s); a crashed writer is replaced within it")
+	fleetPoll := flag.Duration("fleet-poll", 0, "fleet poll/renewal interval and staleness bound (0 = TTL/5)")
 	catalog := flag.String("catalog", "", "external-source catalog config file (JSON); its tenants are mounted behind SQL/HTTP adapters")
 	flag.Parse()
 
+	if *fleetDir != "" && *fleetID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "ucqnd"
+		}
+		*fleetID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
 	s, err := server.Open(server.Config{
 		MaxConcurrent: *concurrency,
 		MaxQueue:      *queue,
 		QueueWait:     *queueWait,
 		DefaultQuota:  ucqn.Budget{MaxCalls: *quota},
 		PersistDir:    *persist,
+		FleetDir:      *fleetDir,
+		FleetID:       *fleetID,
+		FleetTTL:      *fleetTTL,
+		FleetPoll:     *fleetPoll,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ucqnd: %v\n", err)
@@ -94,6 +109,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ucqnd: serving %d tenants on %s\n", *tenants, *addr)
+	if n := s.Fleet(); n != nil {
+		fmt.Fprintf(os.Stderr, "ucqnd: fleet replica %s joined %s as %s\n", *fleetID, *fleetDir, n.Role())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -52,6 +52,7 @@ func run() error {
 	quota := flag.Int("quota", 0, "boot mode: per-request call quota (0 = unlimited)")
 	delay := flag.Duration("delay", 0, "boot mode: artificial per-call source latency")
 	persist := flag.String("persist", "", "boot mode: crash-safe answer-cache directory (empty = memory only)")
+	invalRate := flag.Float64("invalidate-rate", 0, "mid-run /v1/invalidate calls per second against random tenants (0 = off); the run fails if any post-invalidation response carries a pre-invalidation generation")
 	flag.Parse()
 
 	fixtures := server.PaperTenants(*tenants)
@@ -93,8 +94,13 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "ucqnload: booted in-process server at %s\n", base)
 	}
 
+	var invalEvery time.Duration
+	if *invalRate > 0 {
+		invalEvery = time.Duration(float64(time.Second) / *invalRate)
+	}
 	report, loadErr := server.RunLoad(context.Background(), base, fixtures, server.LoadConfig{
 		Users: *users, Duration: *duration, Seed: *seed, ZipfS: *zipfS,
+		InvalidateEvery: invalEvery,
 	})
 
 	// Shut the booted server down before judging the run: a dirty
@@ -137,6 +143,9 @@ func run() error {
 	}
 	if report.Errors > 0 {
 		return fmt.Errorf("%d transport errors", report.Errors)
+	}
+	if report.Stale > 0 {
+		return fmt.Errorf("%d stale responses observed after invalidation acks", report.Stale)
 	}
 	return nil
 }

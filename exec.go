@@ -38,6 +38,7 @@ type execConfig struct {
 	hasStats   bool
 	qc         *QueryCache
 	persistDir string
+	fleetDir   string
 
 	replicas    []*Catalog
 	hasReplicas bool
@@ -348,6 +349,13 @@ func Exec(ctx context.Context, q Query, ps *PatternSet, cat *Catalog, opts ...Ex
 		}
 		c.qc = qc
 	}
+	if c.fleetDir != "" {
+		qc, _, err := OpenFleetCache(c.fleetDir, QueryCacheOptions{}, FleetOptions{})
+		if err != nil {
+			return nil, err
+		}
+		c.qc = qc
+	}
 	if c.useQueryCache() {
 		entry, info := c.qc.Plan(q, ps)
 		if err := entry.Err(); err != nil {
@@ -398,7 +406,7 @@ func (c *execConfig) validate() error {
 		switch {
 		case c.star, c.streaming, c.profile, c.parallel, c.partial:
 			return errors.New("ucqn: WithNaive does not combine with execution options")
-		case c.hasINDs, c.hasStats, c.rt != nil, c.persistDir != "":
+		case c.hasINDs, c.hasStats, c.rt != nil, c.persistDir != "", c.fleetDir != "":
 			return errors.New("ucqn: WithNaive ignores access patterns; planning options do not apply")
 		case c.hasReplicas, c.hasHedge, c.hasBudget:
 			return errors.New("ucqn: WithNaive makes no source calls; replica and budget options do not apply")
@@ -420,6 +428,12 @@ func (c *execConfig) validate() error {
 	}
 	if c.persistDir != "" && c.qc != nil {
 		return errors.New("ucqn: WithPersistence already selects a query cache; do not combine it with WithQueryCache")
+	}
+	if c.fleetDir != "" && c.qc != nil {
+		return errors.New("ucqn: WithFleet already selects a query cache; do not combine it with WithQueryCache")
+	}
+	if c.fleetDir != "" && c.persistDir != "" {
+		return errors.New("ucqn: WithFleet and WithPersistence are mutually exclusive; a fleet directory is already persistent")
 	}
 	if c.hasBatchSize && c.batchSize < 1 {
 		return fmt.Errorf("ucqn: WithBatchSize(%d): batch size must be at least 1", c.batchSize)

@@ -1,0 +1,36 @@
+package qcache
+
+// Fleet glue: backing the answer cache with a shared-directory fleet
+// node instead of a private log. The cache uses the node through the
+// same persist.Store seam as a Log; what changes is behind it — the
+// node may be the fleet's single writer (then it owns the log exactly
+// like OpenPersistent's) or a follower (then Label serves the last
+// good published snapshot + log suffix, Append is memory-only, and
+// AppendTombstone fans out through the node's inbox). The node's
+// Version bumps on refreshes and fleet invalidations, which is what
+// makes ensureRestoredLocked re-load labels a sibling replica paid
+// for.
+
+import (
+	"repro/internal/qcache/fleet"
+	"repro/internal/qcache/persist"
+)
+
+// OpenFleet builds a Cache joined to the shared fleet directory as
+// replica fopt.ID. The returned node is also installed as the cache's
+// persistence backend; close the cache with ClosePersist (which
+// closes the node, releasing the lease if it is the writer). The only
+// errors are real filesystem failures on this replica's own files —
+// shared-state trouble degrades the node, never fails the open.
+func OpenFleet(dir string, opt Options, fopt fleet.Options) (*Cache, *fleet.Node, error) {
+	c := New(opt)
+	if fopt.Now == nil {
+		fopt.Now = c.opt.Now
+	}
+	n, err := fleet.Open(dir, fopt)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.AttachStore(n, persist.RecoveryStats{})
+	return c, n, nil
+}

@@ -49,6 +49,16 @@ type FaultFS struct {
 	// the failing write is persisted). Zero disables.
 	MaxBytes int64
 
+	// OnRename, when set, runs immediately before every Rename goes
+	// through (after the crash check). Interleaving tests block here to
+	// freeze a writer mid-compaction — between snapshot publication and
+	// log truncation — while a follower reads.
+	OnRename func(oldPath, newPath string)
+	// OnReadFile, when set, runs immediately before every ReadFile.
+	// Interleaving tests use it to stall a follower between its reads of
+	// the snapshot and the log while the writer compacts underneath it.
+	OnReadFile func(path string)
+
 	mu      sync.Mutex
 	written int64
 	writes  int
@@ -231,6 +241,9 @@ func (f *FaultFS) ReadFile(path string) ([]byte, error) {
 	if err := f.checkAlive(); err != nil {
 		return nil, err
 	}
+	if f.OnReadFile != nil {
+		f.OnReadFile(path)
+	}
 	return f.inner().ReadFile(path)
 }
 
@@ -239,7 +252,18 @@ func (f *FaultFS) Rename(oldPath, newPath string) error {
 	if err := f.checkAlive(); err != nil {
 		return err
 	}
+	if f.OnRename != nil {
+		f.OnRename(oldPath, newPath)
+	}
 	return f.inner().Rename(oldPath, newPath)
+}
+
+// Link implements FS.
+func (f *FaultFS) Link(oldPath, newPath string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner().Link(oldPath, newPath)
 }
 
 // Remove implements FS.
@@ -248,6 +272,14 @@ func (f *FaultFS) Remove(path string) error {
 		return err
 	}
 	return f.inner().Remove(path)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	return f.inner().ReadDir(dir)
 }
 
 // SyncDir implements FS.

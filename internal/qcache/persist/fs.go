@@ -36,9 +36,16 @@ type FS interface {
 	ReadFile(path string) ([]byte, error)
 	// Rename atomically replaces newPath with oldPath.
 	Rename(oldPath, newPath string) error
+	// Link creates newPath as a hard link to oldPath, failing with an
+	// error satisfying os.IsExist when newPath already exists. It is the
+	// atomic publish-if-absent primitive the lease protocol builds on.
+	Link(oldPath, newPath string) error
 	// Remove deletes path (missing files are not an error for callers
 	// that check).
 	Remove(path string) error
+	// ReadDir lists the file names in dir, sorted; a missing directory
+	// returns an error satisfying os.IsNotExist.
+	ReadDir(dir string) ([]string, error)
 	// SyncDir fsyncs the directory itself, making a preceding rename or
 	// create durable.
 	SyncDir(dir string) error
@@ -73,8 +80,24 @@ func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 // Rename implements FS.
 func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 
+// Link implements FS.
+func (OSFS) Link(oldPath, newPath string) error { return os.Link(oldPath, newPath) }
+
 // Remove implements FS.
 func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
 
 // SyncDir implements FS.
 func (OSFS) SyncDir(dir string) error {

@@ -1,0 +1,247 @@
+package persist
+
+// Invalidation inboxes: the fan-out path for fleet invalidations.
+// Followers cannot append to the shared log (single writer), but an
+// invalidation accepted by any replica must reach every replica at
+// least once. Each replica therefore owns one append-only file under
+// <dir>/inbox/ — <id>.inval, same CRC framing as the log, tombstone
+// records only — that it alone writes. Every node scans all inbox
+// files each poll tick and applies the maximum generation per label;
+// generation application is a forward-only CAS, so re-delivery is
+// idempotent and "at least once" is free. The writer additionally
+// absorbs inbox generations into the main log (as ordinary
+// tombstones), after which the owning replica prunes its inbox back
+// to the header. A torn or corrupt inbox suffix is dropped exactly
+// like a torn log tail: the invalidation it carried was never acked
+// durable, and the issuing replica re-appends on recovery if its
+// catalog still holds the higher generation.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+const (
+	inboxDirName = "inbox"
+	inboxSuffix  = ".inval"
+	inboxMagic   = "UCQNINBOX1\n"
+)
+
+// Inbox is one replica's owned invalidation file. Safe for concurrent
+// use. Append failures follow the log's inert discipline: first
+// unrecoverable failure turns the inbox off and Err reports why.
+type Inbox struct {
+	fsys FS
+	path string
+
+	mu      sync.Mutex
+	f       File
+	off     int64
+	pending map[string]int64 // label -> highest gen this replica published
+	broken  error
+	closed  bool
+}
+
+// inboxPath returns the inbox file path for a replica ID.
+func inboxPath(dir, id string) string {
+	return filepath.Join(dir, inboxDirName, id+inboxSuffix)
+}
+
+// OpenInbox opens (creating if needed) the inbox owned by replica id
+// under the shared dir, recovering its pending records. Torn tails
+// are truncated away exactly as in Open.
+func OpenInbox(fsys FS, dir, id string) (*Inbox, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, inboxDirName)); err != nil {
+		return nil, fmt.Errorf("persist: inbox dir: %w", err)
+	}
+	ib := &Inbox{fsys: fsys, path: inboxPath(dir, id), pending: map[string]int64{}}
+
+	var validLen int64
+	if data, err := fsys.ReadFile(ib.path); err == nil {
+		for label, gen := range replayInbox(data, &validLen) {
+			ib.pending[label] = gen
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: inbox read: %w", err)
+	}
+
+	f, size, err := fsys.OpenAppend(ib.path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: inbox open: %w", err)
+	}
+	ib.f = f
+	ib.off = size
+	if validLen < size {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: inbox truncate: %w", err)
+		}
+		ib.off = validLen
+	}
+	if ib.off == 0 {
+		if err := ib.writeLocked([]byte(inboxMagic)); err != nil {
+			ib.broken = err
+		}
+	}
+	return ib, nil
+}
+
+// replayInbox folds the tombstones of one inbox file, reporting the
+// highest generation per label and (via validLen) the truncation
+// point past the last valid frame. Corrupt content is simply skipped:
+// an invalidation that never became durable was never acked.
+func replayInbox(data []byte, validLen *int64) map[string]int64 {
+	out := map[string]int64{}
+	*validLen = 0
+	if len(data) < len(inboxMagic) || string(data[:len(inboxMagic)]) != inboxMagic {
+		return out
+	}
+	off := len(inboxMagic)
+	*validLen = int64(off)
+	for off < len(data) {
+		payload, next, err := readFrame(data, off)
+		if err != nil {
+			return out
+		}
+		rec, err := decodeRecord(payload)
+		if err == nil && rec.tomb && rec.gen > out[rec.label] {
+			out[rec.label] = rec.gen
+		}
+		off = next
+		*validLen = int64(next)
+	}
+	return out
+}
+
+// Append publishes one invalidation (label advanced to gen), fsynced
+// immediately — invalidations are rare and must not be lost to a
+// batch window.
+func (ib *Inbox) Append(label string, gen int64) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return fmt.Errorf("persist: inbox is closed")
+	}
+	if ib.broken != nil {
+		return ib.broken
+	}
+	if gen <= ib.pending[label] {
+		return nil // already published at or past gen
+	}
+	if err := ib.writeLocked(appendFrame(nil, encodeTombstone(label, gen))); err != nil {
+		return err
+	}
+	if err := ib.f.Sync(); err != nil {
+		ib.broken = fmt.Errorf("persist: inbox fsync: %w", err)
+		return ib.broken
+	}
+	ib.pending[label] = gen
+	return nil
+}
+
+func (ib *Inbox) writeLocked(b []byte) error {
+	n, err := ib.f.Write(b)
+	if err == nil && n == len(b) {
+		ib.off += int64(n)
+		return nil
+	}
+	if err == nil {
+		err = fmt.Errorf("persist: inbox short write: %d of %d bytes", n, len(b))
+	}
+	if terr := ib.f.Truncate(ib.off); terr != nil {
+		ib.broken = fmt.Errorf("%w (and truncate failed: %v)", err, terr)
+		return ib.broken
+	}
+	return err
+}
+
+// Pending returns a copy of the labels this inbox still publishes.
+func (ib *Inbox) Pending() map[string]int64 {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	out := make(map[string]int64, len(ib.pending))
+	for label, gen := range ib.pending {
+		out[label] = gen
+	}
+	return out
+}
+
+// PruneIfCovered truncates the inbox back to its header once every
+// pending record is covered (per the callback — typically "the
+// published log generation is at least this high"). Pruning is an
+// optimization, not a correctness step: an unpruned record re-applies
+// idempotently forever.
+func (ib *Inbox) PruneIfCovered(covered func(label string, gen int64) bool) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed || ib.broken != nil || len(ib.pending) == 0 {
+		return ib.broken
+	}
+	for label, gen := range ib.pending {
+		if !covered(label, gen) {
+			return nil
+		}
+	}
+	if err := ib.f.Truncate(int64(len(inboxMagic))); err != nil {
+		ib.broken = fmt.Errorf("persist: inbox prune: %w", err)
+		return ib.broken
+	}
+	ib.off = int64(len(inboxMagic))
+	ib.pending = map[string]int64{}
+	return nil
+}
+
+// Err reports why the inbox turned itself off, nil while healthy.
+func (ib *Inbox) Err() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.broken
+}
+
+// Close closes the inbox file.
+func (ib *Inbox) Close() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return nil
+	}
+	ib.closed = true
+	return ib.f.Close()
+}
+
+// ReadInboxes scans every replica's inbox under dir and returns the
+// highest published generation per label across the fleet. A missing
+// inbox directory is an empty result; unreadable or corrupt files
+// contribute what verifies and nothing more.
+func ReadInboxes(fsys FS, dir string) map[string]int64 {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	out := map[string]int64{}
+	names, err := fsys.ReadDir(filepath.Join(dir, inboxDirName))
+	if err != nil {
+		return out
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, inboxSuffix) {
+			continue
+		}
+		data, err := fsys.ReadFile(filepath.Join(dir, inboxDirName, name))
+		if err != nil {
+			continue
+		}
+		var valid int64
+		for label, gen := range replayInbox(data, &valid) {
+			if gen > out[label] {
+				out[label] = gen
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestInboxAppendRecoverPrune(t *testing.T) {
+	dir := t.TempDir()
+	ib, err := OpenInbox(nil, dir, "replica-a")
+	if err != nil {
+		t.Fatalf("OpenInbox: %v", err)
+	}
+	if err := ib.Append("t0", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Append("t1", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-publishing at or below the pending generation is a no-op.
+	sizeBefore := inboxSize(t, dir, "replica-a")
+	if err := ib.Append("t0", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Append("t0", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := inboxSize(t, dir, "replica-a"); got != sizeBefore {
+		t.Fatalf("idempotent appends grew the inbox: %d -> %d", sizeBefore, got)
+	}
+	want := map[string]int64{"t0": 3, "t1": 1}
+	if got := ib.Pending(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pending = %v, want %v", got, want)
+	}
+	if err := ib.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen recovers the pending set; the fleet-wide scan sees it.
+	ib2, err := OpenInbox(nil, dir, "replica-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ib2.Close()
+	if got := ib2.Pending(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered pending = %v, want %v", got, want)
+	}
+	if got := ReadInboxes(nil, dir); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadInboxes = %v, want %v", got, want)
+	}
+
+	// Prune only once every record is covered.
+	if err := ib2.PruneIfCovered(func(label string, gen int64) bool { return label == "t0" }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ib2.Pending()) != 2 {
+		t.Fatal("partial coverage pruned the inbox")
+	}
+	if err := ib2.PruneIfCovered(func(string, int64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ib2.Pending()) != 0 {
+		t.Fatalf("pending after prune = %v", ib2.Pending())
+	}
+	if got := inboxSize(t, dir, "replica-a"); got != int64(len(inboxMagic)) {
+		t.Fatalf("pruned inbox size = %d, want header only", got)
+	}
+	if got := ReadInboxes(nil, dir); len(got) != 0 {
+		t.Fatalf("ReadInboxes after prune = %v", got)
+	}
+}
+
+func inboxSize(t *testing.T, dir, id string) int64 {
+	t.Helper()
+	st, err := os.Stat(inboxPath(dir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func TestInboxTornTailDropsOnlyTheSuffix(t *testing.T) {
+	dir := t.TempDir()
+	ib, err := OpenInbox(nil, dir, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Append("first", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Append("second", 2); err != nil {
+		t.Fatal(err)
+	}
+	ib.Close()
+
+	path := inboxPath(dir, "r")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn record was never durable, so it is not pending; the
+	// intact prefix survives and the file is writable again.
+	ib2, err := OpenInbox(nil, dir, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ib2.Close()
+	if got := ib2.Pending(); !reflect.DeepEqual(got, map[string]int64{"first": 1}) {
+		t.Fatalf("pending after torn tail = %v", got)
+	}
+	if err := ib2.Append("third", 3); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	if got := ReadInboxes(nil, dir); !reflect.DeepEqual(got, map[string]int64{"first": 1, "third": 3}) {
+		t.Fatalf("ReadInboxes = %v", got)
+	}
+}
+
+func TestReadInboxesMergesReplicasAndSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenInbox(nil, dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenInbox(nil, dir, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Append("t", 2)
+	a.Append("only-a", 1)
+	b.Append("t", 5)
+	a.Close()
+	b.Close()
+	// Garbage and non-inbox files in the directory contribute nothing.
+	os.WriteFile(filepath.Join(dir, inboxDirName, "junk.inval"), []byte("not an inbox"), 0o644)
+	os.WriteFile(filepath.Join(dir, inboxDirName, "README"), []byte("hi"), 0o644)
+
+	want := map[string]int64{"t": 5, "only-a": 1}
+	if got := ReadInboxes(nil, dir); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadInboxes = %v, want %v", got, want)
+	}
+	// A missing inbox directory is an empty result, not an error.
+	if got := ReadInboxes(nil, t.TempDir()); len(got) != 0 {
+		t.Fatalf("empty dir ReadInboxes = %v", got)
+	}
+}

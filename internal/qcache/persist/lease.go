@@ -1,0 +1,217 @@
+package persist
+
+// The writer lease: mutual exclusion over a shared directory with
+// nothing but portable filesystem primitives. One file —
+// writer.lease — holds a JSON record naming the holder, a
+// per-acquisition nonce, and an expiry timestamp. Acquisition is
+// Link(tmp, lease): hard-linking fails atomically when the target
+// exists, so exactly one contender publishes. Takeover of an expired
+// lease is Rename(lease, stale-unique): rename is atomic and the
+// source disappears, so concurrent stealers get ENOENT and exactly
+// one wins; the winner re-reads the stolen record to catch a renewal
+// that slipped in, restoring it if the holder was actually live.
+// Renewal is verify-mine-then-rename-over.
+//
+// The protocol's safety assumption, stated once here and enforced by
+// the fencing rule in fleet: a holder must stop writing (self-fence)
+// the moment its lease expires by its *own* clock, renewals must
+// complete strictly before expiry, and clocks across the fleet may
+// disagree by less than TTL/2. Under those terms the
+// verify-then-rename window of Renew cannot overlap a legitimate
+// steal: by the time a stealer sees the lease expired, the holder has
+// either renewed (stealer re-reads and restores) or self-fenced
+// (holder never writes again). A clock skewed past the bound voids
+// the guarantee — that is the documented limit, not a handled case.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const leaseFile = "writer.lease"
+
+// Lease is the on-disk writer-lease record.
+type Lease struct {
+	// ID names the holding replica.
+	ID string `json:"id"`
+	// Nonce is unique per acquisition, so a replica that lost and
+	// re-took the lease cannot be confused with its earlier tenure.
+	Nonce string `json:"nonce"`
+	// ExpiresUnixNano is the wall-clock expiry.
+	ExpiresUnixNano int64 `json:"expires_unix_nano"`
+}
+
+// Expires returns the expiry as a time.
+func (l Lease) Expires() time.Time { return time.Unix(0, l.ExpiresUnixNano) }
+
+// ReadLease reads and parses the current lease record. A missing file
+// returns an error satisfying os.IsNotExist; a corrupt one returns a
+// parse error (callers treat both as "no live holder").
+func ReadLease(fsys FS, dir string) (Lease, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, leaseFile))
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, fmt.Errorf("persist: lease corrupt: %w", err)
+	}
+	return l, nil
+}
+
+// writeLeaseTmp durably writes the lease record to a nonce-unique
+// temporary file and returns its path.
+func writeLeaseTmp(fsys FS, dir string, l Lease) (string, error) {
+	tmp := filepath.Join(dir, leaseFile+"."+l.Nonce+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(l)
+	if err == nil {
+		var n int
+		n, err = f.Write(data)
+		if err == nil && n != len(data) {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(data))
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fsys.Remove(tmp)
+		return "", err
+	}
+	return tmp, nil
+}
+
+// TryAcquire attempts to take the writer lease as l (whose Nonce must
+// be unique across the fleet for this attempt). It returns true when
+// l is now the published holder. A held, unexpired lease returns
+// (false, nil) — contention, not failure. now is the acquirer's
+// clock.
+func TryAcquire(fsys FS, dir string, l Lease, now time.Time) (bool, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	tmp, err := writeLeaseTmp(fsys, dir, l)
+	if err != nil {
+		return false, fmt.Errorf("persist: lease write: %w", err)
+	}
+	defer func() { _ = fsys.Remove(tmp) }()
+
+	leasePath := filepath.Join(dir, leaseFile)
+	switch err := fsys.Link(tmp, leasePath); {
+	case err == nil:
+		return true, fsys.SyncDir(dir)
+	case !os.IsExist(err):
+		return false, fmt.Errorf("persist: lease link: %w", err)
+	}
+
+	// Someone holds (or held) the lease. Expired or unreadable means
+	// dead-holder takeover; live means contention.
+	cur, rerr := ReadLease(fsys, dir)
+	if rerr == nil && now.Before(cur.Expires()) {
+		return false, nil
+	}
+	if rerr != nil && os.IsNotExist(rerr) {
+		// Released between our Link and read: next tick retries.
+		return false, nil
+	}
+
+	// Steal: atomically rename the dead lease aside. Exactly one
+	// concurrent stealer wins the rename; losers see ENOENT.
+	stale := filepath.Join(dir, leaseFile+".stale."+l.Nonce)
+	if err := fsys.Rename(leasePath, stale); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // lost the steal race
+		}
+		return false, fmt.Errorf("persist: lease steal: %w", err)
+	}
+	defer func() { _ = fsys.Remove(stale) }()
+
+	// Re-check the stolen record: a renewal may have replaced the
+	// expired lease between our read and the steal. If the stolen
+	// lease is live, put it back (unless a faster acquirer already
+	// published a new one — then theirs stands).
+	if stolen, err := readLeaseFile(fsys, stale); err == nil && now.Before(stolen.Expires()) {
+		_ = fsys.Link(stale, leasePath)
+		_ = fsys.SyncDir(dir)
+		return false, nil
+	}
+
+	// The steal removed a genuinely dead lease; publish ours.
+	switch err := fsys.Link(tmp, leasePath); {
+	case err == nil:
+		return true, fsys.SyncDir(dir)
+	case os.IsExist(err):
+		return false, nil // another acquirer beat us post-steal
+	default:
+		return false, fmt.Errorf("persist: lease link: %w", err)
+	}
+}
+
+// readLeaseFile parses the lease record at an arbitrary path.
+func readLeaseFile(fsys FS, path string) (Lease, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, err
+	}
+	return l, nil
+}
+
+// ErrLeaseLost reports that the caller no longer holds the lease it
+// tried to renew or release: the holder must self-fence, not retry.
+var ErrLeaseLost = fmt.Errorf("persist: lease lost")
+
+// Renew extends the holder's lease to l's new expiry. It fails with
+// ErrLeaseLost when the published lease is not l's (same ID and
+// Nonce) — the holder must then self-fence, not retry.
+func Renew(fsys FS, dir string, l Lease) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	cur, err := ReadLease(fsys, dir)
+	if err != nil || cur.ID != l.ID || cur.Nonce != l.Nonce {
+		return ErrLeaseLost
+	}
+	tmp, err := writeLeaseTmp(fsys, dir, l)
+	if err != nil {
+		return fmt.Errorf("persist: lease renew: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, leaseFile)); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("persist: lease renew: %w", err)
+	}
+	return fsys.SyncDir(dir)
+}
+
+// Release drops the lease if (and only if) l still holds it.
+// Best-effort: an error just means the next acquirer waits out the
+// TTL.
+func Release(fsys FS, dir string, l Lease) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	cur, err := ReadLease(fsys, dir)
+	if err != nil || cur.ID != l.ID || cur.Nonce != l.Nonce {
+		return ErrLeaseLost
+	}
+	if err := fsys.Remove(filepath.Join(dir, leaseFile)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkLease builds a lease expiring ttl after now.
+func mkLease(id, nonce string, now time.Time, ttl time.Duration) Lease {
+	return Lease{ID: id, Nonce: nonce, ExpiresUnixNano: now.Add(ttl).UnixNano()}
+}
+
+func TestLeaseAcquireContendRenewRelease(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	ttl := 10 * time.Second
+
+	a := mkLease("a", "a-1", now, ttl)
+	if ok, err := TryAcquire(nil, dir, a, now); err != nil || !ok {
+		t.Fatalf("first acquire: ok=%v err=%v", ok, err)
+	}
+	// A live lease is contention, not an error — even for the holder
+	// retrying under a fresh nonce.
+	b := mkLease("b", "b-1", now, ttl)
+	if ok, err := TryAcquire(nil, dir, b, now.Add(time.Second)); err != nil || ok {
+		t.Fatalf("contended acquire: ok=%v err=%v", ok, err)
+	}
+
+	cur, err := ReadLease(nil, dir)
+	if err != nil || cur.ID != "a" || cur.Nonce != "a-1" {
+		t.Fatalf("published lease = %+v, %v", cur, err)
+	}
+
+	// Renewal extends the holder; a stranger's renewal is ErrLeaseLost.
+	a2 := a
+	a2.ExpiresUnixNano = now.Add(2 * ttl).UnixNano()
+	if err := Renew(nil, dir, a2); err != nil {
+		t.Fatalf("holder renew: %v", err)
+	}
+	if cur, _ := ReadLease(nil, dir); cur.Expires() != a2.Expires() {
+		t.Fatalf("renewal not published: %+v", cur)
+	}
+	if err := Renew(nil, dir, b); err != ErrLeaseLost {
+		t.Fatalf("stranger renew = %v, want ErrLeaseLost", err)
+	}
+	if err := Release(nil, dir, b); err != ErrLeaseLost {
+		t.Fatalf("stranger release = %v, want ErrLeaseLost", err)
+	}
+	if err := Release(nil, dir, a2); err != nil {
+		t.Fatalf("holder release: %v", err)
+	}
+	// Released: the next acquirer does not wait out the TTL.
+	if ok, err := TryAcquire(nil, dir, b, now.Add(2*time.Second)); err != nil || !ok {
+		t.Fatalf("post-release acquire: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLeaseExpiredStealAndOldHolderFencedOut(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	a := mkLease("a", "a-1", now, time.Second)
+	if ok, _ := TryAcquire(nil, dir, a, now); !ok {
+		t.Fatal("seed acquire failed")
+	}
+	// Past expiry, a contender steals in one TryAcquire.
+	later := now.Add(2 * time.Second)
+	b := mkLease("b", "b-1", later, 10*time.Second)
+	if ok, err := TryAcquire(nil, dir, b, later); err != nil || !ok {
+		t.Fatalf("steal: ok=%v err=%v", ok, err)
+	}
+	if cur, _ := ReadLease(nil, dir); cur.ID != "b" {
+		t.Fatalf("lease after steal = %+v", cur)
+	}
+	// The old holder's renewal must fail: its record is gone.
+	if err := Renew(nil, dir, a); err != ErrLeaseLost {
+		t.Fatalf("dead holder renew = %v, want ErrLeaseLost", err)
+	}
+	// No temp or stale droppings survive a completed protocol round.
+	names, err := OSFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if name != leaseFile {
+			t.Fatalf("leftover lease artifact %q", name)
+		}
+	}
+}
+
+func TestLeaseConcurrentStealElectsExactlyOne(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	dead := mkLease("dead", "dead-1", now.Add(-time.Minute), time.Second)
+	if ok, _ := TryAcquire(nil, dir, dead, now.Add(-time.Minute)); !ok {
+		t.Fatal("seed acquire failed")
+	}
+
+	const contenders = 16
+	wins := make(chan string, contenders)
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := mkLease(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d-1", i), now, 10*time.Second)
+			ok, err := TryAcquire(nil, dir, l, now)
+			if err != nil {
+				t.Errorf("contender %d: %v", i, err)
+			}
+			if ok {
+				wins <- l.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []string
+	for id := range wins {
+		winners = append(winners, id)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d contenders won the steal: %v", len(winners), winners)
+	}
+	if cur, err := ReadLease(nil, dir); err != nil || cur.ID != winners[0] {
+		t.Fatalf("published lease %+v (err %v), want winner %s", cur, err, winners[0])
+	}
+}
+
+// A renewal that lands between a stealer's expiry check and its
+// rename must survive: the stealer re-reads the stolen record, sees
+// it live, and restores it.
+func TestLeaseStealRestoresRenewedHolder(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	a := mkLease("a", "a-1", now, time.Second)
+	if ok, _ := TryAcquire(nil, dir, a, now); !ok {
+		t.Fatal("seed acquire failed")
+	}
+
+	// The stealer runs at now+2s (lease looks dead). The FaultFS rename
+	// hook fires just before the steal's rename — the holder renews in
+	// that window, exactly the race the re-read guards.
+	later := now.Add(2 * time.Second)
+	renewed := a
+	renewed.ExpiresUnixNano = later.Add(10 * time.Second).UnixNano()
+	ffs := &FaultFS{}
+	var once sync.Once
+	ffs.OnRename = func(oldPath, newPath string) {
+		if filepath.Base(oldPath) == leaseFile {
+			once.Do(func() {
+				if err := Renew(nil, dir, renewed); err != nil {
+					t.Errorf("in-window renew: %v", err)
+				}
+			})
+		}
+	}
+	b := mkLease("b", "b-1", later, 10*time.Second)
+	ok, err := TryAcquire(ffs, dir, b, later)
+	if err != nil {
+		t.Fatalf("steal attempt: %v", err)
+	}
+	if ok {
+		t.Fatal("steal succeeded over a renewed (live) lease")
+	}
+	cur, err := ReadLease(nil, dir)
+	if err != nil || cur.ID != "a" || cur.Expires() != renewed.Expires() {
+		t.Fatalf("renewed lease not restored: %+v, %v", cur, err)
+	}
+}

@@ -39,9 +39,41 @@ const (
 	logFile      = "answers.log"
 	snapFile     = "answers.snap"
 	snapTmpFile  = "answers.snap.tmp"
+	verFile      = "answers.ver"
+	verTmpFile   = "answers.ver.tmp"
 	defaultSync  = 64
 	defaultBytes = 8 << 20
 )
+
+// Store is what the answer cache needs from a persistence backend. Log
+// implements it for the single-process case; a fleet node implements it
+// over a shared directory (the writer role delegating to an owned Log,
+// the reader role to follower snapshots). All implementations must be
+// safe for concurrent use and must never fail a caller for durability's
+// sake: a broken backend reports through Err and keeps absorbing calls.
+type Store interface {
+	// Label returns the label's current generation and its live entries.
+	Label(label string) (gen int64, entries []Entry)
+	// Append records one answer entry (best-effort; see Err).
+	Append(e Entry) error
+	// AppendTombstone records that label's generation advanced to gen.
+	AppendTombstone(label string, gen int64) error
+	// Version is a monotonic counter that advances whenever the visible
+	// state may have changed *behind the owning cache's back* (a fleet
+	// follower refresh, an absorbed remote invalidation). A cache
+	// re-restores a label when the version moved since its last restore.
+	// A plain Log always returns 0: its state changes only through its
+	// own cache's writes.
+	Version() uint64
+	// Err reports why the backend stopped persisting, nil while healthy.
+	Err() error
+	// Sync flushes buffered appends to stable storage.
+	Sync() error
+	// Close releases the backend (final flush included).
+	Close() error
+	// Dir returns the backing directory (diagnostics).
+	Dir() string
+}
 
 // Options configures a Log. The zero value uses the real filesystem,
 // fsyncs every 64 appended records, and compacts when the log file
@@ -107,6 +139,93 @@ type labelState struct {
 	entries map[string]Entry // core key -> entry
 }
 
+// stateMap is the generation-filtered fold of a record stream, shared
+// by the writer's Log and the read-only follower State.
+type stateMap map[string]*labelState
+
+// apply folds one record into the state. Generation rules: a record
+// below its label's current generation is stale; one above it bumps the
+// label and clears the superseded entries.
+func (m stateMap) apply(rec record, rs *RecoveryStats) {
+	label, gen := rec.label, rec.gen
+	if !rec.tomb {
+		label, gen = rec.entry.Label, rec.entry.Gen
+	}
+	st := m[label]
+	if st == nil {
+		st = &labelState{entries: map[string]Entry{}}
+		m[label] = st
+	}
+	if gen < st.gen {
+		if rs != nil && !rec.tomb {
+			rs.StaleDrops++
+		}
+		return
+	}
+	if gen > st.gen {
+		if rs != nil {
+			rs.StaleDrops += len(st.entries)
+		}
+		st.gen = gen
+		st.entries = map[string]Entry{}
+	}
+	if !rec.tomb {
+		st.entries[rec.entry.CoreKey] = rec.entry
+	}
+}
+
+// replayAt applies every valid frame of data (which must start with the
+// given magic) to the state, returning the number of applied records
+// and reporting in valid the byte offset one past the last valid frame
+// (the truncation point for the log file).
+func (m stateMap) replayAt(data []byte, magic string, rs *RecoveryStats, valid *int64) int {
+	*valid = 0
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		if len(data) > 0 {
+			rs.CorruptDrops++
+		}
+		return 0
+	}
+	*valid = int64(len(magic))
+	off, applied := len(magic), 0
+	for off < len(data) {
+		payload, next, err := readFrame(data, off)
+		if err != nil {
+			// Torn or flipped: everything from here on is unverifiable.
+			rs.CorruptDrops++
+			return applied
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The frame verified but the payload did not parse (version
+			// drift, or a collision-surviving flip). Drop this record but
+			// keep scanning: framing is still trustworthy.
+			rs.CorruptDrops++
+			off = next
+			*valid = int64(next)
+			continue
+		}
+		m.apply(rec, rs)
+		applied++
+		off = next
+		*valid = int64(next)
+	}
+	return applied
+}
+
+// label returns the label's generation and a copy of its live entries.
+func (m stateMap) label(label string) (int64, []Entry) {
+	st := m[label]
+	if st == nil {
+		return 0, nil
+	}
+	out := make([]Entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, e)
+	}
+	return st.gen, out
+}
+
 // Log is the persistence layer: an in-memory mirror of the live entries
 // plus the append-only file feeding recovery. It is safe for concurrent
 // use. All write failures are absorbed after the first: the log turns
@@ -120,7 +239,8 @@ type Log struct {
 	f       File
 	off     int64 // durable log size: end of the last fully written frame
 	pending int   // appended records since the last fsync
-	state   map[string]*labelState
+	state   stateMap
+	seq     int64 // published compaction sequence (even = stable; see LoadState)
 	broken  error // first unrecoverable write failure; nil while healthy
 	closed  bool
 }
@@ -135,18 +255,30 @@ func Open(dir string, opt Options) (*Log, RecoveryStats, error) {
 	if err := opt.FS.MkdirAll(dir); err != nil {
 		return nil, RecoveryStats{}, fmt.Errorf("persist: %w", err)
 	}
-	l := &Log{dir: dir, opt: opt, state: map[string]*labelState{}}
+	l := &Log{dir: dir, opt: opt, state: stateMap{}}
 	var rs RecoveryStats
 
 	// A crash mid-snapshot leaves the temporary file behind; it was
 	// never renamed, so it is dead weight.
 	_ = opt.FS.Remove(filepath.Join(dir, snapTmpFile))
 
+	// An odd published sequence means the previous writer died
+	// mid-compaction: followers reject such a state (seqlock), so even
+	// it out — the files themselves are consistent (the rename either
+	// happened or it did not; replay is idempotent either way).
+	l.seq = readSeq(opt.FS, dir)
+	if l.seq%2 == 1 {
+		if err := writeSeq(opt.FS, dir, l.seq+1); err == nil {
+			l.seq++
+		}
+	}
+
 	// Snapshot first (the compacted past), then the log (everything
 	// since). Replaying log records over snapshot state is idempotent:
 	// entries overwrite equal entries, generations only advance.
 	if data, err := opt.FS.ReadFile(filepath.Join(dir, snapFile)); err == nil {
-		rs.SnapshotRecords = l.replay(data, snapMagic, &rs)
+		var valid int64
+		rs.SnapshotRecords = l.state.replayAt(data, snapMagic, &rs, &valid)
 	} else if !os.IsNotExist(err) {
 		rs.CorruptDrops++ // unreadable snapshot: treat as lost, not fatal
 	}
@@ -155,7 +287,7 @@ func Open(dir string, opt Options) (*Log, RecoveryStats, error) {
 	var validLog int64
 	if data, err := opt.FS.ReadFile(logPath); err == nil {
 		n, valid := 0, int64(0)
-		n = l.replayAt(data, logMagic, &rs, &valid)
+		n = l.state.replayAt(data, logMagic, &rs, &valid)
 		rs.LogRecords = n
 		validLog = valid
 		if valid < int64(len(data)) {
@@ -196,81 +328,6 @@ func Open(dir string, opt Options) (*Log, RecoveryStats, error) {
 	return l, rs, nil
 }
 
-// replay applies every valid frame of data (which must start with the
-// given magic) to the state, returning the number of applied records.
-func (l *Log) replay(data []byte, magic string, rs *RecoveryStats) int {
-	var valid int64
-	return l.replayAt(data, magic, rs, &valid)
-}
-
-// replayAt is replay, also reporting the byte offset one past the last
-// valid frame (the truncation point for the log file).
-func (l *Log) replayAt(data []byte, magic string, rs *RecoveryStats, valid *int64) int {
-	*valid = 0
-	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
-		if len(data) > 0 {
-			rs.CorruptDrops++
-		}
-		return 0
-	}
-	*valid = int64(len(magic))
-	off, applied := len(magic), 0
-	for off < len(data) {
-		payload, next, err := readFrame(data, off)
-		if err != nil {
-			// Torn or flipped: everything from here on is unverifiable.
-			rs.CorruptDrops++
-			return applied
-		}
-		rec, err := decodeRecord(payload)
-		if err != nil {
-			// The frame verified but the payload did not parse (version
-			// drift, or a collision-surviving flip). Drop this record but
-			// keep scanning: framing is still trustworthy.
-			rs.CorruptDrops++
-			off = next
-			*valid = int64(next)
-			continue
-		}
-		l.applyLocked(rec, rs)
-		applied++
-		off = next
-		*valid = int64(next)
-	}
-	return applied
-}
-
-// applyLocked folds one record into the state. Generation rules: a
-// record below its label's current generation is stale; one above it
-// bumps the label and clears the superseded entries.
-func (l *Log) applyLocked(rec record, rs *RecoveryStats) {
-	label, gen := rec.label, rec.gen
-	if !rec.tomb {
-		label, gen = rec.entry.Label, rec.entry.Gen
-	}
-	st := l.state[label]
-	if st == nil {
-		st = &labelState{entries: map[string]Entry{}}
-		l.state[label] = st
-	}
-	if gen < st.gen {
-		if rs != nil && !rec.tomb {
-			rs.StaleDrops++
-		}
-		return
-	}
-	if gen > st.gen {
-		if rs != nil {
-			rs.StaleDrops += len(st.entries)
-		}
-		st.gen = gen
-		st.entries = map[string]Entry{}
-	}
-	if !rec.tomb {
-		st.entries[rec.entry.CoreKey] = rec.entry
-	}
-}
-
 // entryBytes approximates the resident row bytes of one entry.
 func entryBytes(e Entry) int64 {
 	var n int64
@@ -288,15 +345,39 @@ func entryBytes(e Entry) int64 {
 func (l *Log) Label(label string) (gen int64, entries []Entry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.state.label(label)
+}
+
+// Gen returns the label's current generation without copying entries —
+// the cheap accessor the fleet writer uses to decide whether an inbox
+// tombstone is already absorbed.
+func (l *Log) Gen(label string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	st := l.state[label]
 	if st == nil {
-		return 0, nil
+		return 0
 	}
-	out := make([]Entry, 0, len(st.entries))
-	for _, e := range st.entries {
-		out = append(out, e)
+	return st.gen
+}
+
+// Version implements Store. A plain Log's state changes only through
+// its own cache's Append/AppendTombstone calls, so the restore-once
+// behavior of the cache is preserved by never advancing.
+func (l *Log) Version() uint64 { return 0 }
+
+// Fence turns the log inert with the given reason (no-op when already
+// broken or err is nil). A fleet writer that lost its lease fences its
+// log before demoting so no append can race the next writer's takeover.
+func (l *Log) Fence(err error) {
+	if err == nil {
+		return
 	}
-	return st.gen, out
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken == nil {
+		l.broken = err
+	}
 }
 
 // Append records one answer entry. Errors are reported but terminal
@@ -309,7 +390,7 @@ func (l *Log) Append(e Entry) error {
 	if err := l.usableLocked(); err != nil {
 		return err
 	}
-	l.applyLocked(record{entry: e}, nil)
+	l.state.apply(record{entry: e}, nil)
 	return l.appendFrameLocked(encodeEntry(e))
 }
 
@@ -322,7 +403,7 @@ func (l *Log) AppendTombstone(label string, gen int64) error {
 	if err := l.usableLocked(); err != nil {
 		return err
 	}
-	l.applyLocked(record{tomb: true, label: label, gen: gen}, nil)
+	l.state.apply(record{tomb: true, label: label, gen: gen}, nil)
 	return l.appendFrameLocked(encodeTombstone(label, gen))
 }
 
@@ -400,6 +481,14 @@ func (l *Log) Compact() error {
 }
 
 func (l *Log) compactLocked() error {
+	// Seqlock open: publish an odd sequence before touching the
+	// snapshot/log pair so a follower that reads the files while we
+	// rewrite them sees seq-before != seq-after (or an odd value) and
+	// keeps its last good state instead of mixing epochs.
+	if err := writeSeq(l.opt.FS, l.dir, l.seq+1); err != nil {
+		return l.giveUp(fmt.Errorf("persist: seq open: %w", err))
+	}
+	l.seq++
 	// Render the snapshot: per label a tombstone pinning the generation
 	// (so labels whose entries all expired still invalidate), then the
 	// entries.
@@ -446,7 +535,56 @@ func (l *Log) compactLocked() error {
 	}
 	l.off = int64(len(logMagic))
 	l.pending = 0
+	// Seqlock close: the snapshot/log pair is consistent again.
+	if err := writeSeq(l.opt.FS, l.dir, l.seq+1); err != nil {
+		return l.giveUp(fmt.Errorf("persist: seq close: %w", err))
+	}
+	l.seq++
 	return nil
+}
+
+// readSeq reads the published compaction sequence, 0 when the file is
+// missing or unparseable (a fresh or pre-seqlock directory).
+func readSeq(fsys FS, dir string) int64 {
+	data, err := fsys.ReadFile(filepath.Join(dir, verFile))
+	if err != nil {
+		return 0
+	}
+	var seq int64
+	if _, err := fmt.Sscanf(string(data), "%d", &seq); err != nil || seq < 0 {
+		return 0
+	}
+	return seq
+}
+
+// writeSeq durably publishes seq: write-temp, fsync, atomic rename,
+// directory fsync — the same discipline as the snapshot itself.
+func writeSeq(fsys FS, dir string, seq int64) error {
+	tmp := filepath.Join(dir, verTmpFile)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	b := []byte(fmt.Sprintf("%d\n", seq))
+	n, err := f.Write(b)
+	if err == nil && n != len(b) {
+		err = fmt.Errorf("short write: %d of %d bytes", n, len(b))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, verFile)); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // giveUp marks the log permanently inert after an unrecoverable

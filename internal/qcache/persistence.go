@@ -57,16 +57,24 @@ func OpenPersistent(dir string, opt Options, popt persist.Options) (*Cache, pers
 // lazily, per catalog label, at the first Answers/StoreAnswers against
 // a catalog with that PersistentID.
 func (c *Cache) AttachPersist(lg *persist.Log, rs persist.RecoveryStats) {
+	c.AttachStore(lg, rs)
+}
+
+// AttachStore wires any persistence backend (a private Log or a fleet
+// node) into the cache; see AttachPersist. On a backend whose Version
+// advances (fleet), labels re-restore whenever the shared state moved
+// behind this cache's back.
+func (c *Cache) AttachStore(st persist.Store, rs persist.RecoveryStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.persist = lg
-	c.restored = map[string]bool{}
+	c.persist = st
+	c.restored = map[string]uint64{}
 	c.stats.PersistDrops += rs.CorruptDrops + rs.StaleDrops
 }
 
-// Persist returns the attached log (nil when the cache is memory
-// only) — for stats, explicit Compact/Sync, and tests.
-func (c *Cache) Persist() *persist.Log {
+// Persist returns the attached persistence backend (nil when the
+// cache is memory only) — for stats, explicit Sync, and tests.
+func (c *Cache) Persist() persist.Store {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.persist
@@ -107,21 +115,28 @@ func (c *Cache) InvalidateCatalog(cat *sources.Catalog) {
 	}
 }
 
-// ensureRestoredLocked warm-loads the persisted state for cat's label
-// once: advance the catalog's generation to the persisted one, then
-// (when install is set) install the recovered entries under the live
+// ensureRestoredLocked warm-loads the persisted state for cat's label:
+// advance the catalog's generation to the persisted one, then (when
+// install is set) install the recovered entries under the live
 // fingerprint. c.mu must be held. The install flag lets the
 // invalidation path sync generations without paying to install entries
-// it is about to orphan.
+// it is about to orphan. With a private Log the load happens once per
+// label (Version is constantly 0); with a fleet store it repeats each
+// time the store version moved — a follower refresh or a fleet-wide
+// invalidation changed the state behind this cache's back.
 func (c *Cache) ensureRestoredLocked(cat *sources.Catalog, install bool) {
 	if c.persist == nil {
 		return
 	}
 	label := cat.PersistentID()
-	if label == "" || c.restored[label] {
+	if label == "" {
 		return
 	}
-	c.restored[label] = true
+	ver := c.persist.Version() + 1 // +1 so the map's zero value means "never"
+	if c.restored[label] == ver {
+		return
+	}
+	c.restored[label] = ver
 	gen, entries := c.persist.Label(label)
 	if gen == 0 && len(entries) == 0 {
 		return

@@ -265,9 +265,13 @@ type Cache struct {
 	ansBytes int64
 
 	// persist is the optional crash-safe spill layer (nil = memory
-	// only); restored tracks which catalog labels have been warm-loaded.
-	persist  *persist.Log
-	restored map[string]bool
+	// only): a private persist.Log, or a fleet node sharing a
+	// directory with other replicas. restored tracks the store version
+	// each catalog label was warm-loaded at (value = Version()+1, so
+	// the zero value means never restored); a label re-restores when
+	// the store version moved behind the cache's back.
+	persist  persist.Store
+	restored map[string]uint64
 
 	stats Stats
 }
@@ -282,7 +286,7 @@ func New(opt Options) *Cache {
 		flights:  map[string]*planFlight{},
 		answers:  map[string]*list.Element{},
 		ansLRU:   list.New(),
-		restored: map[string]bool{},
+		restored: map[string]uint64{},
 	}
 }
 
@@ -312,7 +316,7 @@ func (c *Cache) Purge() {
 	c.ansBytes = 0
 	// Forget restore state so persisted entries can warm the cache again
 	// on the next lookup (re-restoring is idempotent).
-	c.restored = map[string]bool{}
+	c.restored = map[string]uint64{}
 }
 
 func (c *Cache) fresh(created time.Time) bool {

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	ucqn "repro"
+	"repro/internal/qcache/persist"
+)
+
+// openFleetServer boots a server replica over the shared dir with
+// manual fleet ticks and per-append durability, returning the server
+// and the metered catalogs (one per fixture tenant).
+func openFleetServer(t *testing.T, dir, id string, fixtures []*TenantFixture) (*Server, []*ucqn.Catalog) {
+	t.Helper()
+	s, err := Open(Config{
+		FleetDir:        dir,
+		FleetID:         id,
+		FleetManualTick: true,
+		PersistOptions:  persist.Options{SyncEvery: 1},
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", id, err)
+	}
+	cats := make([]*ucqn.Catalog, 0, len(fixtures))
+	for _, f := range fixtures {
+		cat := f.Catalog()
+		if _, err := s.AddTenant(f.Name, f.Patterns, cat, ucqn.Budget{}); err != nil {
+			t.Fatal(err)
+		}
+		cats = append(cats, cat)
+	}
+	return s, cats
+}
+
+// fleetPass serves every fixture query once, verifies each response
+// against the ground truth, and returns the pass's source-call delta.
+func fleetPass(t *testing.T, s *Server, cats []*ucqn.Catalog, fixtures []*TenantFixture) int {
+	t.Helper()
+	before := totalCalls(cats)
+	for _, f := range fixtures {
+		for qi, q := range f.Queries {
+			resp, err := s.Query(context.Background(), f.Name, q)
+			if err != nil {
+				t.Fatalf("%s q%d: %v", f.Name, qi, err)
+			}
+			if !resp.Complete {
+				t.Fatalf("%s q%d: incomplete", f.Name, qi)
+			}
+			if got := relOf(resp.Answers); !got.Equal(f.Expected[qi]) {
+				t.Fatalf("%s q%d: answers = %v, ground truth %v", f.Name, qi, got, f.Expected[qi])
+			}
+		}
+	}
+	return totalCalls(cats) - before
+}
+
+// Two server replicas over one fleet directory: B warm-starts from
+// the answers A paid for, and an invalidation accepted by B kills the
+// answer on A within one tick — the E28 regime, in-process.
+func TestServerFleetWarmStartAndInvalidationFanOut(t *testing.T) {
+	dir := t.TempDir()
+	fixtures := PaperTenants(2)
+
+	a, catsA := openFleetServer(t, dir, "replica-a", fixtures)
+	if a.Fleet().Role().String() != "writer" {
+		t.Fatalf("first replica role = %s", a.Fleet().Role())
+	}
+	cold := fleetPass(t, a, catsA, fixtures)
+	if cold == 0 {
+		t.Fatal("sanity: cold pass made no source calls")
+	}
+	steady := fleetPass(t, a, catsA, fixtures)
+
+	// B joins the same directory with fresh catalogs: after one tick it
+	// serves the whole mix at the sibling's steady state — A's disk
+	// answers, not B's sources, pay for the pass.
+	b, catsB := openFleetServer(t, dir, "replica-b", fixtures)
+	if b.Fleet().Role().String() != "reader" {
+		t.Fatalf("second replica role = %s", b.Fleet().Role())
+	}
+	b.Fleet().Tick(time.Now())
+	warm := fleetPass(t, b, catsB, fixtures)
+	if warm > steady {
+		t.Fatalf("replica B warm pass made %d calls, sibling steady state is %d", warm, steady)
+	}
+	if warm >= cold {
+		t.Fatalf("replica B paid the cold cost: %d calls vs %d", warm, cold)
+	}
+
+	// Role and lease surface in stats and healthz on both replicas.
+	if st := a.Stats(); st.Fleet == nil || st.Fleet.Role != "writer" || st.Fleet.LeaseID != "replica-a" {
+		t.Fatalf("A fleet stats = %+v", st.Fleet)
+	}
+	if st := b.Stats(); st.Fleet == nil || st.Fleet.Role != "reader" {
+		t.Fatalf("B fleet stats = %+v", st.Fleet)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	defer tsA.Close()
+	if body := healthzBody(t, tsA.URL); !strings.Contains(body, "role=writer") || !strings.Contains(body, "staleness_bound_ms=") {
+		t.Fatalf("writer healthz = %q", body)
+	}
+
+	// An invalidation accepted by B (a reader: it goes durable in B's
+	// inbox) re-derives on B at once...
+	f := fixtures[0]
+	gen, err := b.Invalidate(f.Name)
+	if err != nil || gen <= 0 {
+		t.Fatalf("Invalidate on reader: gen=%d err=%v", gen, err)
+	}
+	beforeB := totalCalls(catsB)
+	if _, err := b.Query(context.Background(), f.Name, f.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if totalCalls(catsB) == beforeB {
+		t.Fatal("B served a tombstoned answer after its own invalidation")
+	}
+
+	// ...and reaches A within one tick: A's warm cache for the tenant
+	// is orphaned and the next query re-reads the sources.
+	beforeA := totalCalls(catsA)
+	if _, err := a.Query(context.Background(), f.Name, f.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if totalCalls(catsA) != beforeA {
+		t.Fatal("sanity: A was not warm before the fan-out tick")
+	}
+	a.Fleet().Tick(time.Now())
+	resp, err := a.Query(context.Background(), f.Name, f.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalCalls(catsA) == beforeA {
+		t.Fatal("A served a tombstoned answer after the invalidation fanned out")
+	}
+	if got := relOf(resp.Answers); !got.Equal(f.Expected[0]) {
+		t.Fatalf("post-invalidation answers = %v, ground truth %v", got, f.Expected[0])
+	}
+	// The sibling tenant's warm answers survive the bump on both sides.
+	g := fixtures[1]
+	beforeG := totalCalls(catsA)
+	if _, err := a.Query(context.Background(), g.Name, g.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if totalCalls(catsA) != beforeG {
+		t.Errorf("tenant %s lost its fleet cache to %s's invalidation", g.Name, f.Name)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The E28 harness end to end: replica B's warm pass rides on A's
+// answers, the reader-issued invalidation re-derives on both sides,
+// and the report passes the committed-artifact schema gate.
+func TestRunFleetShare(t *testing.T) {
+	rep, err := RunFleetShare(context.Background(), t.TempDir(),
+		FleetShareConfig{Tenants: 2, DelayMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdCalls == 0 {
+		t.Error("cold pass made no source calls")
+	}
+	if rep.WarmCalls > rep.SteadyCalls {
+		t.Errorf("replica B made %d calls, sibling steady state is %d", rep.WarmCalls, rep.SteadyCalls)
+	}
+	if rep.PostInvalidationCallsB == 0 || rep.PostInvalidationCallsA == 0 {
+		t.Errorf("invalidation did not re-derive on both replicas: B=%d A=%d",
+			rep.PostInvalidationCallsB, rep.PostInvalidationCallsA)
+	}
+	if !rep.Sound {
+		t.Error("a pass served an unsound answer")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Errorf("harness report fails its own schema gate: %v", err)
+	}
+}
+
+func healthzBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d (the replica still serves; it must not be pulled)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// An inert persistence log must surface in /v1/stats and flip healthz
+// to "degraded" — without failing queries or the health check itself.
+func TestServerHealthzDegradedWhenLogInert(t *testing.T) {
+	s, err := Open(Config{
+		PersistDir:     t.TempDir(),
+		PersistOptions: persist.Options{FS: &persist.FaultFS{FailSyncEveryN: 1}, SyncEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fixtures := PaperTenants(1)
+	f := fixtures[0]
+	if _, err := s.AddTenant(f.Name, f.Patterns, f.Catalog(), ucqn.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if body := healthzBody(t, ts.URL); !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthy healthz = %q", body)
+	}
+
+	// The first cached answer's fsync fails: the log goes inert, the
+	// query still answers completely.
+	resp, err := s.Query(context.Background(), f.Name, f.Queries[0])
+	if err != nil {
+		t.Fatalf("query over broken storage: %v", err)
+	}
+	if !resp.Complete {
+		t.Fatal("query degraded by a broken log")
+	}
+	if st := s.Stats(); st.Persist.Broken == "" {
+		t.Fatalf("stats did not surface the inert log: %+v", st.Persist)
+	}
+	body := healthzBody(t, ts.URL)
+	if !strings.HasPrefix(body, "degraded") || !strings.Contains(body, "persist=") {
+		t.Fatalf("healthz over inert log = %q, want degraded with the persist reason", body)
+	}
+}

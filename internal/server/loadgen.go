@@ -33,6 +33,13 @@ type LoadConfig struct {
 	Seed int64
 	// ZipfS is the Zipf skew parameter (>1); 0 means 1.2.
 	ZipfS float64
+	// InvalidateEvery, when positive, runs a background invalidator
+	// that POSTs /v1/invalidate for a random tenant at this interval
+	// mid-run. Each ack returns the bumped generation, which becomes
+	// the tenant's watermark: every response whose request started
+	// after the ack must carry Gen >= watermark, or the run reports it
+	// stale (a row cached before the invalidation leaked through).
+	InvalidateEvery time.Duration
 }
 
 func (c LoadConfig) users() int {
@@ -71,6 +78,12 @@ type LoadReport struct {
 	Errors     int        `json:"errors"`
 	Sound      bool       `json:"sound"`
 	Unsound    []string   `json:"unsound,omitempty"`
+	// Invalidations counts acked mid-run /v1/invalidate calls (0 when
+	// LoadConfig.InvalidateEvery is off); Stale counts responses that
+	// violated an invalidation watermark — started after an ack yet
+	// carrying an older generation. Any nonzero Stale fails the run.
+	Invalidations int `json:"invalidations"`
+	Stale         int `json:"stale"`
 }
 
 // LoadParams echoes the run's configuration into the report.
@@ -81,6 +94,8 @@ type LoadParams struct {
 	Queries   int     `json:"queries"`
 	ZipfS     float64 `json:"zipf_s"`
 	Seed      int64   `json:"seed"`
+	// InvalidateEveryS is the mid-run invalidation interval (0 = off).
+	InvalidateEveryS float64 `json:"invalidate_every_s,omitempty"`
 }
 
 // RunLoad drives the load against baseURL (e.g. "http://127.0.0.1:8099")
@@ -94,12 +109,13 @@ func RunLoad(ctx context.Context, baseURL string, tenants []*TenantFixture, cfg 
 	report := &LoadReport{
 		Experiment: "E24",
 		Config: LoadParams{
-			Users:     cfg.users(),
-			DurationS: cfg.duration().Seconds(),
-			Tenants:   len(tenants),
-			Queries:   nq,
-			ZipfS:     cfg.zipfS(),
-			Seed:      cfg.Seed,
+			Users:            cfg.users(),
+			DurationS:        cfg.duration().Seconds(),
+			Tenants:          len(tenants),
+			Queries:          nq,
+			ZipfS:            cfg.zipfS(),
+			Seed:             cfg.Seed,
+			InvalidateEveryS: cfg.InvalidateEvery.Seconds(),
 		},
 		Sound: true,
 	}
@@ -111,8 +127,45 @@ func RunLoad(ctx context.Context, baseURL string, tenants []*TenantFixture, cfg 
 
 	var mu sync.Mutex
 	var latencies []time.Duration
+	// watermarks holds, per tenant, the highest generation an acked
+	// mid-run invalidation reported. A worker snapshots the watermark
+	// before issuing a request; the response must come back at or past
+	// it (the server took the invalidation before the ack, so any
+	// request started after it cannot legitimately see an older
+	// generation).
+	watermarks := map[string]int64{}
 	var wg sync.WaitGroup
 	start := time.Now()
+	if cfg.InvalidateEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+			tick := time.NewTicker(cfg.InvalidateEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-rctx.Done():
+					return
+				case <-tick.C:
+				}
+				f := tenants[rng.Intn(len(tenants))]
+				gen, err := postInvalidate(rctx, client, baseURL, f.Name)
+				mu.Lock()
+				if err != nil {
+					if rctx.Err() == nil {
+						report.Errors++
+					}
+				} else {
+					report.Invalidations++
+					if gen > watermarks[f.Name] {
+						watermarks[f.Name] = gen
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
 	for u := 0; u < cfg.users(); u++ {
 		wg.Add(1)
 		go func(u int) {
@@ -122,6 +175,9 @@ func RunLoad(ctx context.Context, baseURL string, tenants []*TenantFixture, cfg 
 			for rctx.Err() == nil {
 				f := tenants[rng.Intn(len(tenants))]
 				qi := int(zipf.Uint64())
+				mu.Lock()
+				wm := watermarks[f.Name]
+				mu.Unlock()
 				t0 := time.Now()
 				resp, err := postQuery(rctx, client, baseURL, f.Name, f.Queries[qi])
 				lat := time.Since(t0)
@@ -135,6 +191,13 @@ func RunLoad(ctx context.Context, baseURL string, tenants []*TenantFixture, cfg 
 				}
 				report.Requests++
 				latencies = append(latencies, lat)
+				if wm > 0 && resp.Gen < wm {
+					report.Stale++
+					if len(report.Unsound) < 10 {
+						report.Unsound = append(report.Unsound,
+							fmt.Sprintf("%s q%d: gen %d below invalidation watermark %d", f.Name, qi, resp.Gen, wm))
+					}
+				}
 				if resp.Shed {
 					report.Shed++
 				}
@@ -192,6 +255,35 @@ func postQuery(ctx context.Context, client *http.Client, baseURL, tenant, query 
 	return &resp, nil
 }
 
+// postInvalidate issues one POST /v1/invalidate and returns the acked
+// generation watermark.
+func postInvalidate(ctx context.Context, client *http.Client, baseURL, tenant string) (int64, error) {
+	body, err := json.Marshal(Request{Tenant: tenant})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/invalidate", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("loadgen: invalidate status %d", httpResp.StatusCode)
+	}
+	var ack struct {
+		Gen int64 `json:"gen"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&ack); err != nil {
+		return 0, err
+	}
+	return ack.Gen, nil
+}
+
 // checkSound verifies one response against the ground truth: every
 // answer row must be a certain answer, and a response claiming
 // completeness must be exactly the ground truth. Returns "" when sound.
@@ -241,9 +333,9 @@ func WriteBenchReport(path string, r *LoadReport) error {
 // dispatches on the experiment tag — "E24" is the serving load report
 // (LoadReport), "E25" the columnar evaluator report (ColumnarReport),
 // "E26" the warm-restart report (WarmRestartReport), "E27" the batched
-// pushdown report (BatchPushdownReport). CI runs it on the
-// harness outputs so a drifting schema fails the build, not a later
-// comparison script.
+// pushdown report (BatchPushdownReport), "E28" the cache-fleet report
+// (FleetShareReport). CI runs it on the harness outputs so a drifting
+// schema fails the build, not a later comparison script.
 func ValidateBenchReport(data []byte) error {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -266,8 +358,10 @@ func ValidateBenchReport(data []byte) error {
 		return validateE26(raw)
 	case "E27":
 		return validateE27(raw)
+	case "E28":
+		return validateE28(raw)
 	default:
-		return fmt.Errorf("bench report: experiment = %q, want E24, E25, E26, or E27", exp)
+		return fmt.Errorf("bench report: experiment = %q, want E24, E25, E26, E27, or E28", exp)
 	}
 }
 
@@ -302,6 +396,17 @@ func validateE24(raw map[string]json.RawMessage) error {
 	_ = json.Unmarshal(raw["requests"], &reqs)
 	if reqs < 0 {
 		return fmt.Errorf("bench report: requests = %d", reqs)
+	}
+	// Stale is required to be zero when present (reports predating the
+	// invalidation mix do not carry the key).
+	if v, ok := raw["stale"]; ok {
+		var stale int
+		if err := json.Unmarshal(v, &stale); err != nil {
+			return fmt.Errorf("bench report: key %q: %w", "stale", err)
+		}
+		if stale != 0 {
+			return fmt.Errorf("bench report: stale = %d, want 0 (a post-invalidation response carried an old generation)", stale)
+		}
 	}
 	return nil
 }

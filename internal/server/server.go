@@ -36,6 +36,7 @@ import (
 	ucqn "repro"
 	"repro/internal/engine"
 	"repro/internal/qcache"
+	"repro/internal/qcache/fleet"
 	"repro/internal/qcache/persist"
 )
 
@@ -68,6 +69,28 @@ type Config struct {
 	// labels: a tenant's answers warm-load only for a tenant of the same
 	// name.
 	PersistDir string
+	// PersistOptions tunes the persistence log under PersistDir or
+	// FleetDir (zero value = production defaults). Tests inject a
+	// FaultFS or a virtual clock here.
+	PersistOptions persist.Options
+	// FleetDir, when non-empty, joins the answer cache to a *shared*
+	// persistence directory as one replica of a cache fleet (mutually
+	// exclusive with PersistDir): one replica at a time — the holder of
+	// the TTL'd writer lease — owns the log, the others follow the
+	// published state at the poll interval and warm-start from answers
+	// any sibling paid for. Invalidations fan out fleet-wide within one
+	// poll interval. See internal/qcache/fleet.
+	FleetDir string
+	// FleetID names this replica in the fleet (required with FleetDir;
+	// must be unique across replicas and stable across restarts).
+	FleetID string
+	// FleetTTL and FleetPoll are the lease TTL and the poll/renewal
+	// interval (defaults per fleet.Options).
+	FleetTTL  time.Duration
+	FleetPoll time.Duration
+	// FleetManualTick disables the background ticker when set (tests
+	// drive Fleet().Tick with a virtual clock).
+	FleetManualTick bool
 }
 
 func (c Config) maxConcurrent() int {
@@ -117,6 +140,7 @@ func (t *Tenant) Patterns() *ucqn.PatternSet { return t.ps }
 type Server struct {
 	cfg   Config
 	qc    *ucqn.QueryCache
+	fleet *fleet.Node // nil unless Config.FleetDir was set
 	slots chan struct{}
 
 	queued atomic.Int64
@@ -147,8 +171,25 @@ func New(cfg Config) *Server {
 // recovers to a cold cache, never a failed start.
 func Open(cfg Config) (*Server, error) {
 	s := New(cfg)
-	if cfg.PersistDir != "" {
-		qc, _, err := qcache.OpenPersistent(cfg.PersistDir, cfg.Cache, persist.Options{})
+	switch {
+	case cfg.FleetDir != "" && cfg.PersistDir != "":
+		return nil, errors.New("server: FleetDir and PersistDir are mutually exclusive")
+	case cfg.FleetDir != "":
+		qc, node, err := qcache.OpenFleet(cfg.FleetDir, cfg.Cache, fleet.Options{
+			ID:         cfg.FleetID,
+			TTL:        cfg.FleetTTL,
+			Poll:       cfg.FleetPoll,
+			FS:         cfg.PersistOptions.FS,
+			Now:        cfg.PersistOptions.Now,
+			Log:        cfg.PersistOptions,
+			Background: !cfg.FleetManualTick,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.qc, s.fleet = qc, node
+	case cfg.PersistDir != "":
+		qc, _, err := qcache.OpenPersistent(cfg.PersistDir, cfg.Cache, cfg.PersistOptions)
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +197,10 @@ func Open(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Fleet returns the server's fleet node (nil unless Config.FleetDir
+// was set) — for stats, role inspection, and manual ticking in tests.
+func (s *Server) Fleet() *fleet.Node { return s.fleet }
 
 // Close flushes and closes the persistence log (no-op for an in-memory
 // server). The graceful-shutdown path should call it after draining
@@ -208,14 +253,18 @@ func (s *Server) Tenant(name string) *Tenant {
 // query. Other tenants' entries are untouched. On a persistence-backed
 // server this also tombstones the tenant's persisted entries (the
 // bumped generation is appended to the log), so a later restart cannot
-// resurrect the invalidated answers.
-func (s *Server) Invalidate(name string) error {
+// resurrect the invalidated answers; on a fleet replica the tombstone
+// additionally fans out to every sibling within one poll interval. The
+// returned generation is the invalidation's watermark: any response
+// whose Gen is at least it was computed after the invalidation took
+// local effect.
+func (s *Server) Invalidate(name string) (int64, error) {
 	t := s.Tenant(name)
 	if t == nil {
-		return fmt.Errorf("server: unknown tenant %q", name)
+		return 0, fmt.Errorf("server: unknown tenant %q", name)
 	}
 	s.qc.InvalidateCatalog(t.cat)
-	return nil
+	return t.cat.Generation(), nil
 }
 
 // Request is the wire shape of POST /v1/query.
@@ -256,6 +305,12 @@ type Response struct {
 	// served entirely from cache or shed).
 	Calls     int     `json:"calls"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Gen is the tenant's catalog generation the answers were computed
+	// under, read before evaluation began. Clients racing an
+	// invalidation compare it with the generation /v1/invalidate
+	// returned: Gen >= that watermark proves the response cannot carry
+	// rows cached before the invalidation.
+	Gen int64 `json:"gen"`
 }
 
 // Header names carrying the completeness contract alongside the body,
@@ -306,6 +361,9 @@ func (s *Server) Query(ctx context.Context, tenant, query string) (*Response, er
 		return nil, fmt.Errorf("server: parse query: %w", err)
 	}
 	t.requests.Add(1)
+	// Read the generation before evaluation: a response claims only the
+	// invalidation state it is sure of having seen (see Response.Gen).
+	gen := t.cat.Generation()
 
 	start := time.Now()
 	release, shed := s.admit(ctx)
@@ -344,6 +402,7 @@ func (s *Server) Query(ctx context.Context, tenant, query string) (*Response, er
 		Complete:  true,
 		Shed:      shed,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Gen:       gen,
 	}
 	if prof, ok := res.Profile(); ok {
 		resp.Calls = prof.Calls.Total
@@ -445,13 +504,15 @@ type PersistStats struct {
 }
 
 // Stats reports the server's counters per tenant plus the shared cache,
-// the interner occupancy, and the persistence health.
+// the interner occupancy, the persistence health, and — on a fleet
+// replica — the node's role, lease, and staleness bound.
 type Stats struct {
 	Tenants  map[string]TenantStats `json:"tenants"`
 	Shed     int64                  `json:"shed"`
 	Cache    ucqn.QueryCacheStats   `json:"cache"`
 	Interner InternerStats          `json:"interner"`
 	Persist  PersistStats           `json:"persist"`
+	Fleet    *fleet.Stats           `json:"fleet,omitempty"`
 }
 
 // Stats snapshots the serving counters.
@@ -465,6 +526,10 @@ func (s *Server) Stats() Stats {
 		if err := lg.Err(); err != nil {
 			out.Persist.Broken = err.Error()
 		}
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		out.Fleet = &fs
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -483,19 +548,42 @@ func (s *Server) Stats() Stats {
 // Handler returns the HTTP API:
 //
 //	POST /v1/query      {"tenant": ..., "query": ...} → Response
-//	POST /v1/invalidate {"tenant": ...}               → 204
+//	POST /v1/invalidate {"tenant": ...}               → {"tenant": ..., "gen": N}
 //	GET  /v1/stats                                    → Stats
-//	GET  /v1/healthz                                  → 200 ok
+//	GET  /v1/healthz                                  → 200 "ok ..." | "degraded ..."
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/invalidate", s.handleInvalidate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness plus the durability and fleet state.
+// The status is always 200 — a replica whose persistence went inert
+// still serves sound answers from memory, so it must not be pulled
+// from rotation — but the first word of the body flips from "ok" to
+// "degraded" and names the reason, giving operators the signal a
+// silent inert log never did. On a fleet replica the body also carries
+// the role and lease age.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, parts := "ok", []string(nil)
+	if lg := s.qc.Persist(); lg != nil {
+		if err := lg.Err(); err != nil {
+			status = "degraded"
+			parts = append(parts, "persist="+strconv.Quote(err.Error()))
+		}
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		parts = append(parts,
+			"role="+fs.Role,
+			fmt.Sprintf("lease_age_ms=%d", fs.LeaseAgeMS),
+			fmt.Sprintf("staleness_bound_ms=%d", fs.StalenessBoundMS))
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, strings.Join(append([]string{status}, parts...), " "))
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -540,11 +628,20 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.Invalidate(req.Tenant); err != nil {
+	gen, err := s.Invalidate(req.Tenant)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// The body is the invalidation watermark: responses carrying
+	// Gen >= gen were computed after this invalidation took effect
+	// (see Response.Gen), which is what lets a client assert it never
+	// saw a stale row.
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Tenant string `json:"tenant"`
+		Gen    int64  `json:"gen"`
+	}{req.Tenant, gen})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -199,9 +199,19 @@ func TestServerInvalidateBustsTenantAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var ack struct {
+		Tenant string `json:"tenant"`
+		Gen    int64  `json:"gen"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&ack); err != nil {
+		t.Fatalf("invalidate body: %v", err)
+	}
 	httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusNoContent {
+	if httpResp.StatusCode != http.StatusOK {
 		t.Fatalf("invalidate status = %d", httpResp.StatusCode)
+	}
+	if ack.Gen <= 0 {
+		t.Fatalf("invalidate gen = %d, want the bumped generation", ack.Gen)
 	}
 
 	if _, err := s.Query(ctx, f.Name, f.Queries[0]); err != nil {
@@ -427,5 +437,42 @@ func TestLoadGenSoundReport(t *testing.T) {
 	}
 	if err := ValidateBenchReport(data); err != nil {
 		t.Errorf("harness output fails its own schema: %v", err)
+	}
+}
+
+// The invalidation mix: mid-run /v1/invalidate calls interleave with
+// the load, and the generation-watermark check must observe zero
+// post-invalidation responses carrying a pre-invalidation generation.
+func TestLoadGenInvalidationMixSeesNoStaleRows(t *testing.T) {
+	s, fixtures := newTestServer(t, Config{}, 3)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(context.Background(), ts.URL, fixtures, LoadConfig{
+		Users: 4, Duration: 400 * time.Millisecond, Seed: 1,
+		InvalidateEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Invalidations == 0 {
+		t.Fatal("the invalidator never fired")
+	}
+	if report.Stale != 0 {
+		t.Fatalf("%d responses carried a generation below an acked invalidation watermark: %v",
+			report.Stale, report.Unsound)
+	}
+	if !report.Sound {
+		t.Fatalf("unsound responses under the invalidation mix: %v", report.Unsound)
+	}
+	if report.Config.InvalidateEveryS == 0 {
+		t.Error("report config dropped the invalidation cadence")
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Errorf("invalidation-mix report fails the schema gate: %v", err)
 	}
 }
